@@ -1,0 +1,250 @@
+//! DOM-level evaluation of [`ObjectQuery`] — the "XQuery FLWOR"
+//! equivalent the CLOB-only and DOM-store baselines run per document.
+//!
+//! Semantics match the hybrid engine's `Exact` strategy: hierarchical
+//! matching with descendant sub-attribute linkage (or direct children
+//! when the query demands it), numeric coercion identical to the
+//! shredded store's typed columns.
+
+use catalog::query::{AttrQuery, ElemCond, ObjectQuery, QOp, QValue};
+use catalog::shred::DynamicConvention;
+use xmlkit::dom::{Document, NodeId};
+
+/// Does `value` satisfy the condition?
+pub fn cond_matches(cond: &ElemCond, value: &str) -> bool {
+    let num = value.trim().parse::<f64>().ok();
+    match cond.op {
+        QOp::Exists => true,
+        QOp::Like => match &cond.value {
+            QValue::Str(p) => minidb::expr::like_match(value, p),
+            QValue::Num(_) => false,
+        },
+        QOp::Between => match (&cond.value, &cond.value2) {
+            (QValue::Num(lo), Some(QValue::Num(hi))) => {
+                num.map(|n| n >= *lo && n <= *hi).unwrap_or(false)
+            }
+            _ => false,
+        },
+        QOp::Eq | QOp::Ne | QOp::Lt | QOp::Le | QOp::Gt | QOp::Ge => {
+            let ord = match &cond.value {
+                QValue::Num(rhs) => match num {
+                    Some(n) => n.partial_cmp(rhs),
+                    None => None,
+                },
+                QValue::Str(rhs) => Some(value.cmp(rhs.as_str())),
+            };
+            let Some(ord) = ord else { return false };
+            match cond.op {
+                QOp::Eq => ord == std::cmp::Ordering::Equal,
+                QOp::Ne => ord != std::cmp::Ordering::Equal,
+                QOp::Lt => ord == std::cmp::Ordering::Less,
+                QOp::Le => ord != std::cmp::Ordering::Greater,
+                QOp::Gt => ord == std::cmp::Ordering::Greater,
+                QOp::Ge => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Does the whole document satisfy the query (conjunctive top-level
+/// attribute criteria)?
+pub fn object_matches(doc: &Document, q: &ObjectQuery, cv: &DynamicConvention) -> bool {
+    q.attrs.iter().all(|aq| attr_matches_anywhere(doc, aq, cv))
+}
+
+fn attr_matches_anywhere(doc: &Document, aq: &AttrQuery, cv: &DynamicConvention) -> bool {
+    match &aq.source {
+        // Structural attribute: any element whose tag is the name.
+        None => doc
+            .descendants(doc.root())
+            .filter(|&n| doc.node(n).name() == Some(aq.name.as_str()))
+            .any(|n| structural_node_matches(doc, n, aq)),
+        // Dynamic attribute: any subtree whose head names it.
+        Some(source) => doc
+            .descendants(doc.root())
+            .filter(|&n| dynamic_head_matches(doc, n, cv, &aq.name, source))
+            .any(|n| dynamic_node_matches(doc, n, aq, cv, source)),
+    }
+}
+
+fn structural_node_matches(doc: &Document, node: NodeId, aq: &AttrQuery) -> bool {
+    // Element conditions over direct leaf children (or own text for
+    // leaf attributes whose element shares the attribute name).
+    let elems_ok = aq.elems.iter().all(|cond| {
+        if cond.name == aq.name && doc.child_elements(node).next().is_none() {
+            return cond_matches(cond, &doc.direct_text(node));
+        }
+        doc.children_named(node, &cond.name)
+            .any(|c| cond_matches(cond, &doc.direct_text(c)))
+    });
+    if !elems_ok {
+        return false;
+    }
+    aq.subs.iter().all(|sub| {
+        let candidates: Vec<NodeId> = if aq.direct_subs {
+            doc.children_named(node, &sub.name).collect()
+        } else {
+            doc.descendants(node)
+                .filter(|&d| d != node && doc.node(d).name() == Some(sub.name.as_str()))
+                .collect()
+        };
+        candidates.into_iter().any(|c| structural_node_matches(doc, c, sub))
+    })
+}
+
+fn dynamic_head_matches(
+    doc: &Document,
+    node: NodeId,
+    cv: &DynamicConvention,
+    name: &str,
+    source: &str,
+) -> bool {
+    match &cv.head_wrapper {
+        Some(head) => doc.child_named(node, head).is_some_and(|h| {
+            child_text_is(doc, h, &cv.head_name_tag, name)
+                && child_text_is(doc, h, &cv.head_source_tag, source)
+        }),
+        None => {
+            child_text_is(doc, node, &cv.head_name_tag, name)
+                && child_text_is(doc, node, &cv.head_source_tag, source)
+        }
+    }
+}
+
+fn child_text_is(doc: &Document, node: NodeId, tag: &str, expected: &str) -> bool {
+    doc.child_named(node, tag).is_some_and(|c| doc.direct_text(c) == expected)
+}
+
+/// Match a dynamic attribute subtree node against the criterion
+/// (`node` is a `detailed`-style instance or an `attr` sub-node).
+fn dynamic_node_matches(
+    doc: &Document,
+    node: NodeId,
+    aq: &AttrQuery,
+    cv: &DynamicConvention,
+    _source: &str,
+) -> bool {
+    // Elements: attr children carrying a value with the right label.
+    let elems_ok = aq.elems.iter().all(|cond| {
+        doc.children_named(node, &cv.node_tag).any(|c| {
+            child_text_is(doc, c, &cv.name_tag, &cond.name)
+                && doc
+                    .child_named(c, &cv.value_tag)
+                    .map(|v| cond_matches(cond, &doc.direct_text(v)))
+                    .unwrap_or(matches!(cond.op, QOp::Exists))
+        })
+    });
+    if !elems_ok {
+        return false;
+    }
+    // Sub-attributes: attr children labeled with the sub's name (and
+    // source), descendant-linked unless direct is demanded.
+    aq.subs.iter().all(|sub| {
+        let sub_source = sub.source.as_deref().unwrap_or(_source);
+        let candidates: Vec<NodeId> = if aq.direct_subs {
+            doc.children_named(node, &cv.node_tag)
+                .filter(|&c| {
+                    child_text_is(doc, c, &cv.name_tag, &sub.name)
+                        && source_matches(doc, c, cv, sub_source)
+                })
+                .collect()
+        } else {
+            doc.descendants(node)
+                .filter(|&d| d != node && doc.node(d).name() == Some(cv.node_tag.as_str()))
+                .filter(|&c| {
+                    child_text_is(doc, c, &cv.name_tag, &sub.name)
+                        && source_matches(doc, c, cv, sub_source)
+                })
+                .collect()
+        };
+        candidates.into_iter().any(|c| dynamic_node_matches(doc, c, sub, cv, sub_source))
+    })
+}
+
+fn source_matches(doc: &Document, node: NodeId, cv: &DynamicConvention, source: &str) -> bool {
+    match doc.child_named(node, &cv.source_tag) {
+        Some(c) => doc.direct_text(c) == source,
+        // A missing source tag inherits the parent's, which the caller
+        // passed in as `source`.
+        None => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catalog::lead::{fig4_query, FIG3_DOCUMENT};
+    use catalog::query::{AttrQuery, ElemCond, ObjectQuery};
+
+    fn doc() -> Document {
+        Document::parse(FIG3_DOCUMENT).unwrap()
+    }
+
+    #[test]
+    fn fig4_query_matches_fig3_document() {
+        assert!(object_matches(&doc(), &fig4_query(), &DynamicConvention::default()));
+    }
+
+    #[test]
+    fn wrong_value_rejects() {
+        let q = ObjectQuery::new().attr(
+            AttrQuery::new("grid").source("ARPS").elem(ElemCond::eq_num("dx", 999.0)),
+        );
+        assert!(!object_matches(&doc(), &q, &DynamicConvention::default()));
+    }
+
+    #[test]
+    fn structural_theme_match() {
+        let q = ObjectQuery::new().attr(
+            AttrQuery::new("theme").elem(ElemCond::eq_str("themekey", "air_pressure_at_cloud_base")),
+        );
+        assert!(object_matches(&doc(), &q, &DynamicConvention::default()));
+        let q2 = ObjectQuery::new()
+            .attr(AttrQuery::new("theme").elem(ElemCond::eq_str("themekey", "nope")));
+        assert!(!object_matches(&doc(), &q2, &DynamicConvention::default()));
+    }
+
+    #[test]
+    fn conjunction_requires_all() {
+        let q = ObjectQuery::new()
+            .attr(AttrQuery::new("theme").elem(ElemCond::like("themekey", "%cloud%")))
+            .attr(AttrQuery::new("grid").source("ARPS").elem(ElemCond::eq_num("dz", 500.0)));
+        assert!(object_matches(&doc(), &q, &DynamicConvention::default()));
+        let q_bad = ObjectQuery::new()
+            .attr(AttrQuery::new("theme").elem(ElemCond::like("themekey", "%cloud%")))
+            .attr(AttrQuery::new("grid").source("ARPS").elem(ElemCond::eq_num("dz", 1.0)));
+        assert!(!object_matches(&doc(), &q_bad, &DynamicConvention::default()));
+    }
+
+    #[test]
+    fn cond_semantics() {
+        assert!(cond_matches(&ElemCond::eq_num("x", 100.0), "100.000"));
+        assert!(cond_matches(&ElemCond::between("x", 1.0, 2.0), "1.5"));
+        assert!(!cond_matches(&ElemCond::between("x", 1.0, 2.0), "2.5"));
+        assert!(cond_matches(&ElemCond::like("x", "a%c"), "abc"));
+        assert!(cond_matches(&ElemCond::exists("x"), "anything"));
+        assert!(!cond_matches(&ElemCond::eq_num("x", 1.0), "not-a-number"));
+        assert!(cond_matches(&ElemCond::str("x", catalog::query::QOp::Gt, "abc"), "abd"));
+    }
+
+    #[test]
+    fn nested_sub_attribute_hierarchical() {
+        // dzmin lives under grid-stretching, not directly under grid.
+        let q = ObjectQuery::new().attr(
+            AttrQuery::new("grid")
+                .source("ARPS")
+                .sub(AttrQuery::new("grid-stretching").source("ARPS").elem(ElemCond::eq_num("reference-height", 0.0))),
+        );
+        assert!(object_matches(&doc(), &q, &DynamicConvention::default()));
+        // Direct-children demand still finds it (grid-stretching IS a
+        // direct child of the grid subtree root).
+        let q_direct = ObjectQuery::new().attr(
+            AttrQuery::new("grid")
+                .source("ARPS")
+                .direct()
+                .sub(AttrQuery::new("grid-stretching").source("ARPS")),
+        );
+        assert!(object_matches(&doc(), &q_direct, &DynamicConvention::default()));
+    }
+}

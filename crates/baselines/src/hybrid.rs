@@ -1,0 +1,55 @@
+//! The hybrid catalog wrapped as a [`CatalogBackend`].
+
+use crate::CatalogBackend;
+use catalog::catalog::{CatalogConfig, MetadataCatalog};
+use catalog::error::Result;
+use catalog::partition::Partition;
+use catalog::query::ObjectQuery;
+
+/// Adapter exposing [`MetadataCatalog`] through the backend trait.
+pub struct HybridBackend {
+    catalog: MetadataCatalog,
+}
+
+impl HybridBackend {
+    /// Wrap a fresh catalog over `partition`.
+    pub fn new(partition: Partition, config: CatalogConfig) -> Result<HybridBackend> {
+        Ok(HybridBackend { catalog: MetadataCatalog::new(partition, config)? })
+    }
+
+    /// Wrap an existing catalog (e.g. with dynamic defs registered).
+    pub fn from_catalog(catalog: MetadataCatalog) -> HybridBackend {
+        HybridBackend { catalog }
+    }
+
+    /// Access the wrapped catalog.
+    pub fn catalog(&self) -> &MetadataCatalog {
+        &self.catalog
+    }
+}
+
+impl CatalogBackend for HybridBackend {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn ingest(&self, xml: &str) -> Result<i64> {
+        self.catalog.ingest(xml)
+    }
+
+    fn query(&self, q: &ObjectQuery) -> Result<Vec<i64>> {
+        self.catalog.query(q)
+    }
+
+    fn reconstruct(&self, ids: &[i64]) -> Result<Vec<(i64, String)>> {
+        self.catalog.fetch_documents(ids)
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.catalog.approx_bytes()
+    }
+
+    fn table_count(&self) -> usize {
+        self.catalog.db().table_names().len()
+    }
+}

@@ -1,0 +1,57 @@
+//! # mylead-baselines — the storage architectures the paper compares against
+//!
+//! Every backend implements [`CatalogBackend`] and runs on the same
+//! `minidb` engine and `xmlkit` parser as the hybrid catalog, so
+//! measured differences reflect storage architecture, not
+//! implementation substrate:
+//!
+//! | backend | paper reference | design |
+//! |---|---|---|
+//! | [`hybrid::HybridBackend`] | this paper | CLOB-per-attribute + shredded query tables |
+//! | [`clob_only::ClobOnlyBackend`] | DB2 XML column \[21\], Oracle 10g default \[22\] | whole document in one CLOB; queries parse + scan |
+//! | [`dom_store::DomStoreBackend`] | Xindice \[6\] | parsed DOMs in memory; queries scan trees |
+//! | [`edge::EdgeBackend`] | Florescu/Kossmann \[17\] | one edge table; queries self-join per path step |
+//! | [`inlining::InliningBackend`] | Shanmugasundaram \[14\] | shared inlining into per-repeating-node tables |
+//! | [`doc_order`] | Tatarinov \[19\] | document-level ordering ablation (E7) |
+
+#![warn(missing_docs)]
+
+pub mod clob_only;
+pub mod doc_order;
+pub mod dom_match;
+pub mod dom_store;
+pub mod edge;
+pub mod hybrid;
+pub mod inlining;
+
+use catalog::error::Result;
+use catalog::query::ObjectQuery;
+
+/// A metadata-catalog storage backend under evaluation.
+pub trait CatalogBackend: Send + Sync {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Ingest one XML document; returns the object id.
+    fn ingest(&self, xml: &str) -> Result<i64>;
+
+    /// Answer an attribute query with sorted object ids
+    /// (XQuery-equivalent semantics).
+    fn query(&self, q: &ObjectQuery) -> Result<Vec<i64>>;
+
+    /// Reconstruct documents for the given ids.
+    fn reconstruct(&self, ids: &[i64]) -> Result<Vec<(i64, String)>>;
+
+    /// Approximate storage footprint in bytes.
+    fn storage_bytes(&self) -> usize;
+
+    /// Number of relational tables the backend needed (1 for
+    /// non-relational stores; the E5 metric).
+    fn table_count(&self) -> usize;
+}
+
+pub use clob_only::ClobOnlyBackend;
+pub use dom_store::DomStoreBackend;
+pub use edge::EdgeBackend;
+pub use hybrid::HybridBackend;
+pub use inlining::InliningBackend;

@@ -1,0 +1,45 @@
+//! E8 (Criterion): query throughput scaling with reader threads.
+
+use benchkit::generator;
+use catalog::catalog::CatalogConfig;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
+use workload::{QueryGenerator, QueryShape, WorkloadConfig};
+
+fn bench_concurrent(c: &mut Criterion) {
+    let generator = Arc::new(generator(WorkloadConfig::default()));
+    let cat = Arc::new(generator.catalog(CatalogConfig::default()).unwrap());
+    for d in generator.corpus(300) {
+        cat.ingest(&d).unwrap();
+    }
+    const BATCH: usize = 32;
+    let mut group = c.benchmark_group("e8_concurrent_queries");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for w in 0..threads {
+                        let cat = cat.clone();
+                        let generator = generator.clone();
+                        s.spawn(move || {
+                            let mut qg = QueryGenerator::new(&generator, w as u64);
+                            for _ in 0..BATCH / threads {
+                                let q = qg.generate(QueryShape::DynamicEq);
+                                cat.query(&q).unwrap();
+                            }
+                        });
+                    }
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(800));
+    targets = bench_concurrent
+}
+criterion_main!(benches);

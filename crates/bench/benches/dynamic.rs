@@ -1,0 +1,33 @@
+//! E5 (Criterion): hybrid query latency as the dynamic-definition pool
+//! grows — the catalog must not slow down as scientists add concepts.
+
+use benchkit::{generator, hybrid_backend, load};
+use criterion::{criterion_group, criterion_main, Criterion};
+use workload::{QueryGenerator, QueryShape, WorkloadConfig};
+
+fn bench_dynamic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_dynamic_defs");
+    for pool in [8usize, 64, 256] {
+        let cfg = WorkloadConfig { distinct_dynamics: pool, ..Default::default() };
+        let generator = generator(cfg);
+        let hybrid = hybrid_backend(&generator).unwrap();
+        load(&hybrid, &generator.corpus(200)).unwrap();
+        let queries = QueryGenerator::new(&generator, 5).batch(QueryShape::DynamicEq, 8);
+        let mut i = 0usize;
+        group.bench_function(format!("defs_{pool}"), |b| {
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                hybrid.catalog().query(q).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(800));
+    targets = bench_dynamic
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E1 (Criterion): per-document ingest cost, per backend.
+
+use benchkit::{all_backends, generator};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use workload::WorkloadConfig;
+
+fn bench_ingest(c: &mut Criterion) {
+    let generator = generator(WorkloadConfig::default());
+    let corpus = generator.corpus(64);
+    let mut group = c.benchmark_group("e1_ingest_per_doc");
+    for backend in all_backends(&generator).unwrap() {
+        let mut i = 0usize;
+        group.bench_function(backend.name(), |b| {
+            b.iter_batched(
+                || {
+                    let d = corpus[i % corpus.len()].clone();
+                    i += 1;
+                    d
+                },
+                |doc| backend.ingest(&doc).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(800));
+    targets = bench_ingest
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E7 (Criterion): attribute insertion under schema-level vs
+//! document-level ordering.
+
+use baselines::doc_order::DocOrderStore;
+use benchkit::generator;
+use catalog::catalog::CatalogConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use workload::WorkloadConfig;
+
+const FRAG: &str = "<theme><themekt>CF NetCDF</themekt><themekey>appended</themekey></theme>";
+
+fn bench_ordering(c: &mut Criterion) {
+    for themes in [8usize, 64] {
+        let cfg = WorkloadConfig { themes_per_doc: themes, keys_per_theme: 4, ..Default::default() };
+        let generator = generator(cfg);
+        let doc = generator.generate(0);
+        let nodes = {
+            let d = xmlkit::Document::parse(&doc).unwrap();
+            d.descendants(d.root()).count()
+        };
+        let mut group = c.benchmark_group(format!("e7_insert_doc{nodes}nodes"));
+
+        let cat = generator.catalog(CatalogConfig::default()).unwrap();
+        let id = cat.ingest(&doc).unwrap();
+        group.bench_function("hybrid_schema_ordering", |b| {
+            b.iter(|| cat.add_attribute(id, FRAG).unwrap())
+        });
+
+        let store = DocOrderStore::new().unwrap();
+        let oid = store.ingest(&doc).unwrap();
+        let mid = (nodes / 2) as i64;
+        group.bench_function("document_level_ordering", |b| {
+            b.iter(|| store.insert_subtree(oid, mid, FRAG, 4).unwrap())
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(800));
+    targets = bench_ordering
+}
+criterion_main!(benches);

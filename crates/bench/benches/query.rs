@@ -1,0 +1,43 @@
+//! E2 (Criterion): query latency by shape, per backend, over a fixed
+//! 500-document corpus.
+
+use benchkit::{all_backends, generator, load};
+use criterion::{criterion_group, criterion_main, Criterion};
+use workload::{QueryGenerator, QueryShape, WorkloadConfig};
+
+fn bench_query(c: &mut Criterion) {
+    let generator = generator(WorkloadConfig::default());
+    let corpus = generator.corpus(500);
+    let backends = all_backends(&generator).unwrap();
+    for b in &backends {
+        load(b.as_ref(), &corpus).unwrap();
+    }
+    for (label, shape) in [
+        ("theme_eq", QueryShape::ThemeEq),
+        ("dyn_eq", QueryShape::DynamicEq),
+        ("dyn_range10", QueryShape::DynamicRange(10)),
+        ("nested1", QueryShape::Nested(1)),
+        ("conj2", QueryShape::Conjunctive(2)),
+    ] {
+        let mut group = c.benchmark_group(format!("e2_query_{label}"));
+        let queries = QueryGenerator::new(&generator, 1234).batch(shape, 8);
+        for backend in &backends {
+            let mut i = 0usize;
+            group.bench_function(backend.name(), |bch| {
+                bch.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    backend.query(q).unwrap()
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(800));
+    targets = bench_query
+}
+criterion_main!(benches);

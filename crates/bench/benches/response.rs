@@ -1,0 +1,31 @@
+//! E4 (Criterion): response construction vs result-set size.
+
+use benchkit::{all_backends, generator, load};
+use criterion::{criterion_group, criterion_main, Criterion};
+use workload::WorkloadConfig;
+
+fn bench_response(c: &mut Criterion) {
+    let generator = generator(WorkloadConfig::default());
+    let corpus = generator.corpus(400);
+    let backends = all_backends(&generator).unwrap();
+    for b in &backends {
+        load(b.as_ref(), &corpus).unwrap();
+    }
+    for k in [1usize, 10, 100] {
+        let ids: Vec<i64> = (1..=k as i64).collect();
+        let mut group = c.benchmark_group(format!("e4_response_{k}"));
+        for backend in &backends {
+            group.bench_function(backend.name(), |b| {
+                b.iter(|| backend.reconstruct(&ids).unwrap())
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(800));
+    targets = bench_response
+}
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Minimal aligned-table rendering for harness output.
+
+/// A printable experiment table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns (first column left, rest right).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            if i == 0 {
+                out.push_str(&format!("{:<w$}  ", h, w = widths[i]));
+            } else {
+                out.push_str(&format!("{:>w$}  ", h, w = widths[i]));
+            }
+        }
+        out.push('\n');
+        for (i, _) in self.headers.iter().enumerate() {
+            out.push_str(&"-".repeat(widths[i]));
+            out.push_str("  ");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                if i == 0 {
+                    out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+                } else {
+                    out.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format seconds as adaptive ms/µs text.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Format a rate (per second).
+pub fn fmt_rate(per_sec: f64) -> String {
+    if per_sec >= 1000.0 {
+        format!("{:.1}k/s", per_sec / 1000.0)
+    } else {
+        format!("{per_sec:.0}/s")
+    }
+}
+
+/// Format byte counts.
+pub fn fmt_bytes(b: usize) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1} MiB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KiB", b as f64 / (1 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let r = t.render();
+        assert!(r.contains("longer"));
+        assert_eq!(r.lines().count(), 4);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_secs(2.0), "2.00 s");
+        assert_eq!(fmt_secs(0.0025), "2.50 ms");
+        assert_eq!(fmt_secs(0.0000025), "2.5 µs");
+        assert_eq!(fmt_rate(1500.0), "1.5k/s");
+        assert_eq!(fmt_rate(42.0), "42/s");
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.0 MiB");
+    }
+}

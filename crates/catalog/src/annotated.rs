@@ -1,0 +1,269 @@
+//! Annotated-schema front end (§7).
+//!
+//! The paper's conclusion sketches "a framework for metadata catalogs
+//! that would be based on an annotated schema to indicate which schema
+//! elements are structural or dynamic metadata attributes". This module
+//! implements that framework: the schema DSL plus two annotations —
+//!
+//! - `name!`  — this element is a **structural** metadata attribute;
+//! - `name!!` — this element is a **dynamic** metadata attribute root.
+//!
+//! ```text
+//! LEADresource {
+//!   resourceID!
+//!   data {
+//!     idinfo { status! { progress update } }
+//!     eainfo { detailed!!* { ... } }
+//!   }
+//! }
+//! ```
+//!
+//! The annotations are stripped, the remaining text parsed by
+//! `xmlkit`'s schema DSL, and the five partition rules enforced as
+//! usual — one source of truth for both the schema and its partition.
+
+use crate::error::{CatalogError, Result};
+use crate::partition::{Partition, PartitionSpec};
+use std::sync::Arc;
+use xmlkit::schema::Schema;
+
+/// Parse an annotated schema into a validated [`Partition`].
+pub fn parse_annotated(src: &str) -> Result<Partition> {
+    let (clean, spec) = strip_annotations(src)?;
+    let schema = Arc::new(Schema::parse_dsl(&clean)?);
+    Partition::new(schema, &spec)
+}
+
+/// Strip `!`/`!!` annotations, returning the clean DSL and the
+/// partition spec of annotated paths.
+fn strip_annotations(src: &str) -> Result<(String, PartitionSpec)> {
+    let mut clean = String::with_capacity(src.len());
+    let mut spec = PartitionSpec::default();
+    // Path stack of element names (the braces structure of the DSL).
+    let mut stack: Vec<String> = Vec::new();
+    let mut chars = src.char_indices().peekable();
+    // The most recently read name, not yet pushed (pushed on '{').
+    let mut pending: Option<String> = None;
+
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '#' => {
+                // Comment through end of line (kept for the DSL parser).
+                clean.push(c);
+                for (_, c2) in chars.by_ref() {
+                    clean.push(c2);
+                    if c2 == '\n' {
+                        break;
+                    }
+                }
+            }
+            '{' => {
+                let name = pending.take().ok_or_else(|| {
+                    CatalogError::InvalidPartition(format!("'{{' without element name at byte {i}"))
+                })?;
+                stack.push(name);
+                clean.push(c);
+            }
+            '}' => {
+                pending = None;
+                if stack.pop().is_none() {
+                    return Err(CatalogError::InvalidPartition(format!(
+                        "unbalanced '}}' at byte {i}"
+                    )));
+                }
+                clean.push(c);
+            }
+            '!' => {
+                // Annotation on the pending name; '!!' = dynamic.
+                let dynamic = matches!(chars.peek(), Some((_, '!')));
+                if dynamic {
+                    chars.next();
+                }
+                let name = pending.clone().ok_or_else(|| {
+                    CatalogError::InvalidPartition(format!("'!' without element name at byte {i}"))
+                })?;
+                let mut path = String::new();
+                for part in stack.iter().chain(std::iter::once(&name)) {
+                    path.push('/');
+                    path.push_str(part);
+                }
+                if dynamic {
+                    spec.dynamic.push(path);
+                } else {
+                    spec.structural.push(path);
+                }
+                // Annotation itself is not emitted into the clean DSL.
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' => {
+                // Read the whole name.
+                let mut name = String::new();
+                name.push(c);
+                while let Some(&(_, c2)) = chars.peek() {
+                    if c2.is_alphanumeric() || c2 == '_' || c2 == '-' || c2 == '.' {
+                        name.push(c2);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                // Type suffixes (":float") belong to the same token but
+                // are not part of the element name.
+                clean.push_str(&name);
+                if matches!(chars.peek(), Some((_, ':'))) {
+                    clean.push(':');
+                    chars.next();
+                    while let Some(&(_, c2)) = chars.peek() {
+                        if c2.is_ascii_alphabetic() {
+                            clean.push(c2);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                pending = Some(name);
+            }
+            '^' => {
+                // Recursion reference: copy the whole token; it is not a
+                // new element.
+                clean.push(c);
+                while let Some(&(_, c2)) = chars.peek() {
+                    if c2.is_alphanumeric() || c2 == '_' || c2 == '-' || c2 == '.' {
+                        clean.push(c2);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                pending = None;
+            }
+            '?' | '*' | '+' | '@' => {
+                clean.push(c);
+            }
+            c if c.is_whitespace() => {
+                clean.push(c);
+            }
+            other => {
+                return Err(CatalogError::InvalidPartition(format!(
+                    "unexpected character {other:?} at byte {i}"
+                )));
+            }
+        }
+    }
+    if !stack.is_empty() {
+        return Err(CatalogError::InvalidPartition("unbalanced '{' at end of schema".into()));
+    }
+    Ok((clean, spec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lead::lead_partition;
+    use crate::ordering::GlobalOrdering;
+    use crate::partition::NodeRole;
+
+    /// The Fig-2 LEAD schema with inline annotations — one document
+    /// instead of schema + separate spec.
+    const LEAD_ANNOTATED: &str = "
+LEADresource {
+  resourceID!
+  data {
+    idinfo {
+      status! { progress update }
+      citation! { origin pubdate title }
+      timeperd { timeinfo! { current begdate? enddate? } }
+      keywords? {
+        theme!*    { themekt themekey+ }
+        place!*    { placekt placekey+ }
+        stratum!*  { stratkt stratkey+ }
+        temporal!* { tempkt tempkey+ }
+      }
+      useconst!?
+      accconst!?
+    }
+    geospatial {
+      spdom {
+        dsgpoly!* { polygon }
+        bounding! { westbc:float eastbc:float northbc:float southbc:float }
+      }
+      vertdom! { vmin:float vmax:float }
+      eainfo {
+        detailed!!* {
+          enttyp { enttypl enttypds }
+          attr* { attrlabl attrdefs attrv? ^attr }
+        }
+        overview!* { eaover eadetcit+ }
+      }
+    }
+  }
+}
+";
+
+    #[test]
+    fn annotated_lead_matches_hand_built_partition() {
+        let annotated = parse_annotated(LEAD_ANNOTATED).unwrap();
+        let manual = lead_partition();
+        let sa = annotated.schema();
+        let sm = manual.schema();
+        assert_eq!(sa.len(), sm.len());
+        // Same roles on every node (by path identity).
+        for (na, nm) in sa.preorder().into_iter().zip(sm.preorder()) {
+            assert_eq!(sa.node(na).name, sm.node(nm).name);
+            assert_eq!(annotated.role(na), manual.role(nm), "role differs at {}", sa.node(na).name);
+        }
+        // Same global ordering (theme = 10, 23 nodes).
+        let oa = GlobalOrdering::new(&annotated);
+        assert_eq!(oa.len(), 23);
+        let theme = sa.resolve_path("/LEADresource/data/idinfo/keywords/theme").unwrap();
+        assert_eq!(oa.order_of(theme), Some(10));
+    }
+
+    #[test]
+    fn dynamic_annotation() {
+        let p = parse_annotated("r { leaf! d!!* { enttyp { enttypl enttypds } attr* { attrlabl attrv? ^attr } } }").unwrap();
+        let s = p.schema();
+        let d = s.resolve_path("/r/d").unwrap();
+        assert_eq!(p.role(d), NodeRole::AttributeRoot { dynamic: true });
+        let leaf = s.resolve_path("/r/leaf").unwrap();
+        assert_eq!(p.role(leaf), NodeRole::AttributeRoot { dynamic: false });
+    }
+
+    #[test]
+    fn annotation_with_suffixes_in_any_reasonable_position() {
+        // `name!*` and `name!?` both parse (annotation before cardinality).
+        let p = parse_annotated("r { a!* { x } b!? }").unwrap();
+        let s = p.schema();
+        assert!(p.is_attr_root(s.resolve_path("/r/a").unwrap()));
+        assert!(p.is_attr_root(s.resolve_path("/r/b").unwrap()));
+        assert!(s.node(s.resolve_path("/r/a").unwrap()).cardinality.repeating());
+    }
+
+    #[test]
+    fn rules_still_enforced() {
+        // Repeating element not inside any attribute → rule 2 violation.
+        let err = parse_annotated("r { w* { leaf! } }").unwrap_err();
+        assert!(matches!(err, CatalogError::InvalidPartition(_)));
+        // Uncovered leaf → rule 5 violation.
+        let err = parse_annotated("r { a! { x } orphan }").unwrap_err();
+        assert!(matches!(err, CatalogError::InvalidPartition(_)));
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(parse_annotated("r { ! }").is_err());
+        assert!(parse_annotated("r { a! ").is_err());
+        assert!(parse_annotated("r } a!").is_err());
+        assert!(parse_annotated("r { $ }").is_err());
+    }
+
+    #[test]
+    fn works_end_to_end_with_catalog() {
+        use crate::catalog::{CatalogConfig, MetadataCatalog};
+        let p = parse_annotated(LEAD_ANNOTATED).unwrap();
+        let cat = MetadataCatalog::new(p, CatalogConfig::default()).unwrap();
+        crate::lead::register_arps_defs(&cat).unwrap();
+        let id = cat.ingest(crate::lead::FIG3_DOCUMENT).unwrap();
+        assert_eq!(cat.query(&crate::lead::fig4_query()).unwrap(), vec![id]);
+    }
+}

@@ -1,0 +1,418 @@
+//! The catalog façade: ingest, query, and response building in one
+//! object (what myLEAD's server exposes to the grid).
+
+use crate::defs::{AttrId, DefLevel, DefsRegistry, DynamicAttrSpec};
+use crate::engine::{run_flat_query, run_query, MatchStrategy};
+use crate::error::{CatalogError, Result};
+use crate::ordering::GlobalOrdering;
+use crate::partition::Partition;
+use crate::query::ObjectQuery;
+use crate::response;
+use crate::shred::{DynamicConvention, ShredOptions, ShreddedDoc, Shredder};
+use crate::store;
+use minidb::{Database, Expr, Plan, Value};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicI64, Ordering as AtomicOrdering};
+use xmlkit::dom::Document;
+
+/// Catalog configuration.
+#[derive(Debug, Clone, Default)]
+pub struct CatalogConfig {
+    /// Dynamic-attribute naming convention (LEAD's by default).
+    pub convention: DynamicConvention,
+    /// Shredding strictness.
+    pub shred: ShredOptions,
+    /// Auto-register unknown dynamic attributes from their first
+    /// occurrence instead of storing them CLOB-only.
+    pub auto_register: bool,
+    /// Query matching strategy.
+    pub strategy: MatchStrategy,
+}
+
+/// Aggregate catalog statistics (storage accounting for E6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogStats {
+    /// Cataloged objects.
+    pub objects: usize,
+    /// Attribute instance rows.
+    pub attr_rows: usize,
+    /// Element instance rows.
+    pub elem_rows: usize,
+    /// Inverted-list rows.
+    pub ancestor_rows: usize,
+    /// Stored CLOBs.
+    pub clob_count: usize,
+    /// Total CLOB bytes.
+    pub clob_bytes: usize,
+    /// Registered attribute definitions.
+    pub attr_defs: usize,
+    /// Registered element definitions.
+    pub elem_defs: usize,
+    /// Relational tables in the store (constant for the hybrid design —
+    /// the E5 contrast with inlining's per-structure table growth).
+    pub table_count: usize,
+}
+
+/// A hybrid XML-relational metadata catalog.
+pub struct MetadataCatalog {
+    db: Database,
+    partition: Partition,
+    ordering: GlobalOrdering,
+    defs: RwLock<DefsRegistry>,
+    config: CatalogConfig,
+    next_object: AtomicI64,
+}
+
+impl MetadataCatalog {
+    /// Create a catalog over a partitioned schema.
+    pub fn new(partition: Partition, config: CatalogConfig) -> Result<MetadataCatalog> {
+        let db = Database::new();
+        store::create_tables(&db)?;
+        let ordering = GlobalOrdering::new(&partition);
+        store::load_ordering(&db, &ordering)?;
+        let defs = DefsRegistry::from_partition(&partition, &ordering);
+        store::sync_defs(&db, &defs)?;
+        Ok(MetadataCatalog {
+            db,
+            partition,
+            ordering,
+            defs: RwLock::new(defs),
+            config,
+            next_object: AtomicI64::new(1),
+        })
+    }
+
+    /// Assemble a catalog from already-loaded parts (snapshot loading).
+    pub(crate) fn from_parts(
+        db: Database,
+        partition: Partition,
+        ordering: GlobalOrdering,
+        defs: DefsRegistry,
+        config: CatalogConfig,
+        next_object: i64,
+    ) -> Result<MetadataCatalog> {
+        store::sync_defs(&db, &defs)?;
+        Ok(MetadataCatalog {
+            db,
+            partition,
+            ordering,
+            defs: RwLock::new(defs),
+            config,
+            next_object: AtomicI64::new(next_object),
+        })
+    }
+
+    /// The partition this catalog serves.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The global schema ordering.
+    pub fn ordering(&self) -> &GlobalOrdering {
+        &self.ordering
+    }
+
+    /// The underlying database, for SQL inspection of the store.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Register a dynamic attribute at the dynamic root addressed by
+    /// `anchor_path` (e.g. `/LEADresource/data/geospatial/eainfo/detailed`).
+    pub fn register_dynamic(
+        &self,
+        anchor_path: &str,
+        spec: &DynamicAttrSpec,
+        level: DefLevel,
+    ) -> Result<AttrId> {
+        let anchor = self
+            .partition
+            .schema()
+            .resolve_path(anchor_path)
+            .ok_or_else(|| CatalogError::Definition(format!("no schema node at {anchor_path}")))?;
+        let mut defs = self.defs.write();
+        let id = defs.register_dynamic(&self.partition, &self.ordering, anchor, spec, level)?;
+        store::sync_defs(&self.db, &defs)?;
+        Ok(id)
+    }
+
+    /// Parse and shred a document *without* storing it (the CPU-bound
+    /// half of ingest; used by parallel ingest pipelines).
+    pub fn shred_only(&self, xml: &str) -> Result<ShreddedDoc> {
+        let doc = Document::parse(xml)?;
+        let defs = self.defs.read();
+        let shredder = Shredder::new(&self.partition, &self.ordering, &self.config.convention, self.config.shred.clone());
+        let out = shredder.shred(&doc, &defs)?;
+        drop(defs);
+        if self.config.auto_register && !out.inferred.is_empty() {
+            // Register what the document taught us, then re-shred so its
+            // rows land in the query tables too.
+            {
+                let mut defs = self.defs.write();
+                for (anchor, spec) in &out.inferred {
+                    // Races between ingest threads can register the same
+                    // spec twice; the second registration fails benignly.
+                    let _ = defs.register_dynamic(&self.partition, &self.ordering, *anchor, spec, DefLevel::Admin);
+                }
+                store::sync_defs(&self.db, &defs)?;
+            }
+            let defs = self.defs.read();
+            let shredder =
+                Shredder::new(&self.partition, &self.ordering, &self.config.convention, self.config.shred.clone());
+            return shredder.shred(&doc, &defs);
+        }
+        Ok(out)
+    }
+
+    /// Store a shredded document under a fresh object id.
+    pub fn apply(&self, shredded: &ShreddedDoc, owner: Option<&str>, name: Option<&str>) -> Result<i64> {
+        let object_id = self.next_object.fetch_add(1, AtomicOrdering::Relaxed);
+        self.db.insert(
+            "objects",
+            vec![vec![
+                Value::Int(object_id),
+                owner.map(|s| Value::Str(s.into())).unwrap_or(Value::Null),
+                name.map(|s| Value::Str(s.into())).unwrap_or(Value::Null),
+            ]],
+        )?;
+        self.apply_rows(object_id, shredded)?;
+        Ok(object_id)
+    }
+
+    /// Insert a shredded batch's rows under an existing object id.
+    fn apply_rows(&self, object_id: i64, shredded: &ShreddedDoc) -> Result<()> {
+        let clob_rows: Vec<Vec<Value>> = shredded
+            .clobs
+            .iter()
+            .map(|c| {
+                let locator = self.db.clobs.put(c.xml.clone().into_bytes());
+                vec![
+                    Value::Int(object_id),
+                    Value::Int(c.attr_id),
+                    Value::Int(c.order as i64),
+                    Value::Int(c.clob_seq),
+                    Value::Int(locator as i64),
+                ]
+            })
+            .collect();
+        self.db.insert("clobs", clob_rows)?;
+        self.db.insert(
+            "attrs",
+            shredded.attrs.iter().map(|a| {
+                vec![
+                    Value::Int(object_id),
+                    Value::Int(a.attr_id),
+                    Value::Int(a.seq),
+                    a.clob_seq.map(Value::Int).unwrap_or(Value::Null),
+                ]
+            }),
+        )?;
+        self.db.insert(
+            "elems",
+            shredded.elems.iter().map(|e| {
+                vec![
+                    Value::Int(object_id),
+                    Value::Int(e.attr_id),
+                    Value::Int(e.attr_seq),
+                    Value::Int(e.elem_id),
+                    Value::Int(e.elem_seq),
+                    Value::Str(e.value.clone()),
+                    e.num.map(Value::Float).unwrap_or(Value::Null),
+                ]
+            }),
+        )?;
+        self.db.insert(
+            "attr_anc",
+            shredded.ancestors.iter().map(|a| {
+                vec![
+                    Value::Int(object_id),
+                    Value::Int(a.attr_id),
+                    Value::Int(a.seq),
+                    Value::Int(a.anc_attr_id),
+                    Value::Int(a.anc_seq),
+                    Value::Int(a.distance),
+                ]
+            }),
+        )?;
+        Ok(())
+    }
+
+    /// Add one attribute instance to an existing object — the paper's
+    /// incremental-metadata path (§3/§5: attributes "inserted later").
+    /// `fragment_xml` is a single attribute subtree (e.g. a `<theme>`
+    /// or `<detailed>` element). Only *new* rows are written: the
+    /// schema-level global ordering means no per-document renumbering
+    /// (the E7 ablation measures the alternative).
+    pub fn add_attribute(&self, object_id: i64, fragment_xml: &str) -> Result<()> {
+        let exists = !self
+            .db
+            .execute(&Plan::Scan {
+                table: "objects".into(),
+                filter: Some(Expr::col_eq(0, object_id)),
+            })?
+            .rows
+            .is_empty();
+        if !exists {
+            return Err(CatalogError::NoSuchObject(object_id));
+        }
+        let doc = Document::parse(fragment_xml)?;
+        let tag = doc.node(doc.root()).name().unwrap_or("").to_string();
+        let schema = self.partition.schema();
+        let snode = self
+            .partition
+            .attr_roots()
+            .iter()
+            .copied()
+            .find(|&n| schema.node(n).name == tag)
+            .ok_or_else(|| {
+                CatalogError::BadQuery(format!("{tag} is not a metadata attribute of this schema"))
+            })?;
+        // Seed same-sibling counters from the object's current rows so
+        // the new instance continues the sequence.
+        let mut seq_seed: std::collections::HashMap<crate::defs::AttrId, i64> =
+            std::collections::HashMap::new();
+        for row in self
+            .db
+            .execute(&Plan::Scan { table: "attrs".into(), filter: Some(Expr::col_eq(0, object_id)) })?
+            .rows
+        {
+            if let (Some(a), Some(sq)) = (row[1].as_i64(), row[2].as_i64()) {
+                let e = seq_seed.entry(a).or_insert(0);
+                *e = (*e).max(sq);
+            }
+        }
+        let mut clob_seed: std::collections::HashMap<crate::ordering::OrderId, i64> =
+            std::collections::HashMap::new();
+        for row in self
+            .db
+            .execute(&Plan::Scan { table: "clobs".into(), filter: Some(Expr::col_eq(0, object_id)) })?
+            .rows
+        {
+            if let (Some(o), Some(cs)) = (row[2].as_i64(), row[3].as_i64()) {
+                let e = clob_seed.entry(o as crate::ordering::OrderId).or_insert(0);
+                *e = (*e).max(cs);
+            }
+        }
+        let defs = self.defs.read();
+        let shredder = Shredder::new(
+            &self.partition,
+            &self.ordering,
+            &self.config.convention,
+            self.config.shred.clone(),
+        );
+        let shredded = shredder.shred_fragment(&doc, &defs, snode, seq_seed, clob_seed)?;
+        drop(defs);
+        self.apply_rows(object_id, &shredded)
+    }
+
+    /// Ingest one document: parse, shred, validate, store.
+    pub fn ingest(&self, xml: &str) -> Result<i64> {
+        let shredded = self.shred_only(xml)?;
+        self.apply(&shredded, None, None)
+    }
+
+    /// Ingest with provenance metadata.
+    pub fn ingest_as(&self, xml: &str, owner: &str, name: &str) -> Result<i64> {
+        let shredded = self.shred_only(xml)?;
+        self.apply(&shredded, Some(owner), Some(name))
+    }
+
+    /// Ingest many documents, shredding in parallel on `threads` worker
+    /// threads (parse + shred run outside any table lock; only `apply`
+    /// serializes on the store).
+    pub fn ingest_batch(&self, docs: &[String], threads: usize) -> Result<Vec<i64>> {
+        if threads <= 1 || docs.len() < 2 {
+            return docs.iter().map(|d| self.ingest(d)).collect();
+        }
+        let chunk = docs.len().div_ceil(threads);
+        let results: Vec<Result<Vec<ShreddedDoc>>> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for part in docs.chunks(chunk) {
+                handles.push(scope.spawn(move |_| {
+                    part.iter().map(|d| self.shred_only(d)).collect::<Result<Vec<_>>>()
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("shred worker panicked")).collect()
+        })
+        .expect("crossbeam scope");
+        let mut ids = Vec::with_capacity(docs.len());
+        for batch in results {
+            for shredded in batch? {
+                ids.push(self.apply(&shredded, None, None)?);
+            }
+        }
+        Ok(ids)
+    }
+
+    /// Run an attribute query; returns sorted matching object ids.
+    pub fn query(&self, q: &ObjectQuery) -> Result<Vec<i64>> {
+        let defs = self.defs.read();
+        run_query(&self.db, &defs, q, self.config.strategy)
+    }
+
+    /// Run a query with an explicit strategy (ablations).
+    pub fn query_with(&self, q: &ObjectQuery, strategy: MatchStrategy) -> Result<Vec<i64>> {
+        let defs = self.defs.read();
+        run_query(&self.db, &defs, q, strategy)
+    }
+
+    /// The §4 "significantly simplified" flat path (no sub-attributes).
+    pub fn query_flat(&self, q: &ObjectQuery) -> Result<Vec<i64>> {
+        let defs = self.defs.read();
+        run_flat_query(&self.db, &defs, q)
+    }
+
+    /// Reconstruct schema-ordered documents for `object_ids`.
+    pub fn fetch_documents(&self, object_ids: &[i64]) -> Result<Vec<(i64, String)>> {
+        response::build_documents(&self.db, object_ids)
+    }
+
+    /// Query then reconstruct: the full Fig-1 pipeline.
+    pub fn search(&self, q: &ObjectQuery) -> Result<Vec<(i64, String)>> {
+        let ids = self.query(q)?;
+        self.fetch_documents(&ids)
+    }
+
+    /// Query then wrap matches in a `<results>` envelope.
+    pub fn search_envelope(&self, q: &ObjectQuery) -> Result<String> {
+        let ids = self.query(q)?;
+        response::build_response_envelope(&self.db, &ids)
+    }
+
+    /// Remove an object and all its stored metadata.
+    pub fn delete_object(&self, object_id: i64) -> Result<()> {
+        let exists = !self
+            .db
+            .execute(&Plan::Scan { table: "objects".into(), filter: Some(Expr::col_eq(0, object_id)) })?
+            .rows
+            .is_empty();
+        if !exists {
+            return Err(CatalogError::NoSuchObject(object_id));
+        }
+        for table in ["objects", "attrs", "elems", "attr_anc", "clobs"] {
+            self.db.delete_where(table, &Expr::col_eq(0, object_id))?;
+        }
+        Ok(())
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> CatalogStats {
+        let defs = self.defs.read();
+        CatalogStats {
+            objects: self.db.row_count("objects").unwrap_or(0),
+            attr_rows: self.db.row_count("attrs").unwrap_or(0),
+            elem_rows: self.db.row_count("elems").unwrap_or(0),
+            ancestor_rows: self.db.row_count("attr_anc").unwrap_or(0),
+            clob_count: self.db.row_count("clobs").unwrap_or(0),
+            clob_bytes: self.db.clobs.total_bytes(),
+            attr_defs: defs.attrs().len(),
+            elem_defs: defs.elems().len(),
+            table_count: self.db.table_names().len(),
+        }
+    }
+
+    /// Approximate total storage bytes (rows + CLOB heap).
+    pub fn approx_bytes(&self) -> usize {
+        self.db.approx_bytes()
+    }
+}

@@ -1,0 +1,288 @@
+//! Object collections (myLEAD aggregations).
+//!
+//! The paper describes the catalog's subjects as "objects (files or
+//! aggregations)": a scientist's experiment is a collection holding the
+//! files (and sub-collections — ensemble members, nested workflows) it
+//! produced. Queries can then be scoped to a collection subtree, which
+//! is the myLEAD GUI's "containment viewpoint" (§7).
+//!
+//! Collections are rows in two extra tables (`collections`,
+//! `collection_members`); membership is many-to-many and collections
+//! nest, with cycle protection.
+
+use crate::catalog::MetadataCatalog;
+use crate::error::{CatalogError, Result};
+use crate::query::ObjectQuery;
+use minidb::{Column, DataType, Database, Expr, Plan, TableSchema, Value};
+use std::collections::HashSet;
+
+/// Identifier of a collection.
+pub type CollectionId = i64;
+
+/// Kind tags in `collection_members.kind`.
+const KIND_OBJECT: i64 = 0;
+const KIND_COLLECTION: i64 = 1;
+
+/// Create the collection tables (idempotent if absent).
+pub(crate) fn create_collection_tables(db: &Database) -> Result<()> {
+    db.create_table(
+        "collections",
+        TableSchema::new(vec![
+            Column::new("coll_id", DataType::Int),
+            Column::new("name", DataType::Text),
+            Column::nullable("owner", DataType::Text),
+        ]),
+    )?;
+    db.create_index("collections", "collections_pk", &["coll_id"], true)?;
+    db.create_table(
+        "collection_members",
+        TableSchema::new(vec![
+            Column::new("coll_id", DataType::Int),
+            Column::new("kind", DataType::Int),
+            Column::new("member_id", DataType::Int),
+        ]),
+    )?;
+    db.create_index(
+        "collection_members",
+        "members_pk",
+        &["coll_id", "kind", "member_id"],
+        true,
+    )?;
+    Ok(())
+}
+
+impl MetadataCatalog {
+    /// Create a collection; returns its id.
+    pub fn create_collection(&self, name: &str, owner: Option<&str>) -> Result<CollectionId> {
+        let id = self.next_collection_id();
+        self.db().insert(
+            "collections",
+            vec![vec![
+                Value::Int(id),
+                Value::Str(name.to_string()),
+                owner.map(|o| Value::Str(o.into())).unwrap_or(Value::Null),
+            ]],
+        )?;
+        Ok(id)
+    }
+
+    fn next_collection_id(&self) -> CollectionId {
+        // Max + 1 over the small collections table (created lazily
+        // relative to catalog startup, so no counter is persisted).
+        let rs = self
+            .db()
+            .execute(&Plan::Scan { table: "collections".into(), filter: None })
+            .map(|rs| rs.rows.iter().filter_map(|r| r[0].as_i64()).max().unwrap_or(0))
+            .unwrap_or(0);
+        rs + 1
+    }
+
+    fn collection_exists(&self, id: CollectionId) -> Result<bool> {
+        Ok(!self
+            .db()
+            .execute(&Plan::Scan {
+                table: "collections".into(),
+                filter: Some(Expr::col_eq(0, id)),
+            })?
+            .rows
+            .is_empty())
+    }
+
+    /// Add an object to a collection.
+    pub fn add_object_to_collection(&self, coll: CollectionId, object_id: i64) -> Result<()> {
+        if !self.collection_exists(coll)? {
+            return Err(CatalogError::NoSuchObject(coll));
+        }
+        self.db()
+            .insert(
+                "collection_members",
+                vec![vec![Value::Int(coll), Value::Int(KIND_OBJECT), Value::Int(object_id)]],
+            )
+            .map(|_| ())
+            .map_err(Into::into)
+    }
+
+    /// Nest `child` under `parent`. Rejects cycles.
+    pub fn add_subcollection(&self, parent: CollectionId, child: CollectionId) -> Result<()> {
+        if !self.collection_exists(parent)? || !self.collection_exists(child)? {
+            return Err(CatalogError::NoSuchObject(parent.min(child)));
+        }
+        // Cycle check: parent must not be reachable from child.
+        let mut seen = HashSet::new();
+        let mut stack = vec![child];
+        while let Some(c) = stack.pop() {
+            if c == parent {
+                return Err(CatalogError::Definition(format!(
+                    "adding collection {child} under {parent} would create a cycle"
+                )));
+            }
+            if seen.insert(c) {
+                stack.extend(self.direct_subcollections(c)?);
+            }
+        }
+        self.db()
+            .insert(
+                "collection_members",
+                vec![vec![Value::Int(parent), Value::Int(KIND_COLLECTION), Value::Int(child)]],
+            )
+            .map(|_| ())
+            .map_err(Into::into)
+    }
+
+    fn direct_subcollections(&self, coll: CollectionId) -> Result<Vec<CollectionId>> {
+        Ok(self
+            .db()
+            .execute(&Plan::Scan {
+                table: "collection_members".into(),
+                filter: Some(Expr::and(Expr::col_eq(0, coll), Expr::col_eq(1, KIND_COLLECTION))),
+            })?
+            .rows
+            .iter()
+            .filter_map(|r| r[2].as_i64())
+            .collect())
+    }
+
+    /// All object ids in the collection subtree (sorted, deduplicated).
+    pub fn collection_objects(&self, coll: CollectionId) -> Result<Vec<i64>> {
+        if !self.collection_exists(coll)? {
+            return Err(CatalogError::NoSuchObject(coll));
+        }
+        let mut objects = HashSet::new();
+        let mut seen = HashSet::new();
+        let mut stack = vec![coll];
+        while let Some(c) = stack.pop() {
+            if !seen.insert(c) {
+                continue;
+            }
+            let rs = self.db().execute(&Plan::Scan {
+                table: "collection_members".into(),
+                filter: Some(Expr::col_eq(0, c)),
+            })?;
+            for row in &rs.rows {
+                match (row[1].as_i64(), row[2].as_i64()) {
+                    (Some(KIND_OBJECT), Some(o)) => {
+                        objects.insert(o);
+                    }
+                    (Some(KIND_COLLECTION), Some(sub)) => stack.push(sub),
+                    _ => {}
+                }
+            }
+        }
+        let mut out: Vec<i64> = objects.into_iter().collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Run an attribute query scoped to a collection subtree.
+    pub fn query_in_collection(&self, coll: CollectionId, q: &ObjectQuery) -> Result<Vec<i64>> {
+        let members = self.collection_objects(coll)?;
+        let hits = self.query(q)?;
+        // Both sides sorted: merge-intersect.
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < members.len() && j < hits.len() {
+            match members[i].cmp(&hits[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(hits[j]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// List collections as `(id, name, owner)`.
+    pub fn list_collections(&self) -> Result<Vec<(CollectionId, String, Option<String>)>> {
+        let rs = self.db().execute(&Plan::Sort {
+            input: Box::new(Plan::Scan { table: "collections".into(), filter: None }),
+            keys: vec![(0, false)],
+        })?;
+        Ok(rs
+            .rows
+            .iter()
+            .filter_map(|r| {
+                Some((
+                    r[0].as_i64()?,
+                    r[1].as_str()?.to_string(),
+                    r[2].as_str().map(|s| s.to_string()),
+                ))
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogConfig;
+    use crate::lead::{fig4_query, lead_catalog, FIG3_DOCUMENT};
+
+    fn cat() -> MetadataCatalog {
+        lead_catalog(CatalogConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn create_and_list() {
+        let cat = cat();
+        let a = cat.create_collection("exp-2006-06-01", Some("keisha")).unwrap();
+        let b = cat.create_collection("exp-2006-06-02", None).unwrap();
+        assert_ne!(a, b);
+        let all = cat.list_collections().unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].1, "exp-2006-06-01");
+        assert_eq!(all[0].2.as_deref(), Some("keisha"));
+    }
+
+    #[test]
+    fn membership_and_scoped_query() {
+        let cat = cat();
+        let exp = cat.create_collection("experiment", None).unwrap();
+        let in_id = cat.ingest(FIG3_DOCUMENT).unwrap();
+        let out_id = cat.ingest(FIG3_DOCUMENT).unwrap();
+        cat.add_object_to_collection(exp, in_id).unwrap();
+        // Global query sees both; scoped query sees only the member.
+        assert_eq!(cat.query(&fig4_query()).unwrap(), vec![in_id, out_id]);
+        assert_eq!(cat.query_in_collection(exp, &fig4_query()).unwrap(), vec![in_id]);
+    }
+
+    #[test]
+    fn nested_collections_expand() {
+        let cat = cat();
+        let parent = cat.create_collection("campaign", None).unwrap();
+        let child = cat.create_collection("ensemble-1", None).unwrap();
+        cat.add_subcollection(parent, child).unwrap();
+        let a = cat.ingest(FIG3_DOCUMENT).unwrap();
+        let b = cat.ingest(FIG3_DOCUMENT).unwrap();
+        cat.add_object_to_collection(parent, a).unwrap();
+        cat.add_object_to_collection(child, b).unwrap();
+        assert_eq!(cat.collection_objects(parent).unwrap(), vec![a, b]);
+        assert_eq!(cat.collection_objects(child).unwrap(), vec![b]);
+        assert_eq!(cat.query_in_collection(parent, &fig4_query()).unwrap(), vec![a, b]);
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        let cat = cat();
+        let a = cat.create_collection("a", None).unwrap();
+        let b = cat.create_collection("b", None).unwrap();
+        let c = cat.create_collection("c", None).unwrap();
+        cat.add_subcollection(a, b).unwrap();
+        cat.add_subcollection(b, c).unwrap();
+        assert!(matches!(cat.add_subcollection(c, a), Err(CatalogError::Definition(_))));
+        assert!(matches!(cat.add_subcollection(a, a), Err(CatalogError::Definition(_))));
+    }
+
+    #[test]
+    fn duplicate_membership_rejected_missing_collection_errors() {
+        let cat = cat();
+        let a = cat.create_collection("a", None).unwrap();
+        let id = cat.ingest(FIG3_DOCUMENT).unwrap();
+        cat.add_object_to_collection(a, id).unwrap();
+        assert!(cat.add_object_to_collection(a, id).is_err()); // unique index
+        assert!(cat.add_object_to_collection(999, id).is_err());
+        assert!(cat.collection_objects(999).is_err());
+    }
+}

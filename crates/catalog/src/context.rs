@@ -1,0 +1,241 @@
+//! Context queries (§7 future work).
+//!
+//! The paper closes on an open problem: myLEAD's GUI "addresses queries
+//! from a containment viewpoint, but it does not address searching for
+//! objects based on a broader context". This module implements that
+//! broader-context search over [`crate::collections`]: find objects by
+//! combining criteria on the object itself with criteria on its
+//! *context* — the other objects it shares a collection with.
+//!
+//! Example: "find the radar analyses from experiments whose forecasts
+//! used 1 km grid spacing" — the radar file itself carries no grid
+//! attribute, but a sibling object in its experiment does.
+
+use crate::catalog::MetadataCatalog;
+use crate::collections::CollectionId;
+use crate::error::Result;
+use crate::query::ObjectQuery;
+use minidb::{Expr, Plan};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// A context query: criteria on the object and on its collection
+/// siblings.
+#[derive(Debug, Clone)]
+pub struct ContextQuery {
+    /// Criteria the object itself must satisfy (`None` = any object).
+    pub target: Option<ObjectQuery>,
+    /// Criteria some *other* object in a shared collection must satisfy.
+    pub context: ObjectQuery,
+    /// Require the sibling to be a different object (default true; set
+    /// false to let an object satisfy its own context).
+    pub distinct_sibling: bool,
+}
+
+impl ContextQuery {
+    /// Objects matching `target` whose collection context contains an
+    /// object matching `context`.
+    pub fn new(target: ObjectQuery, context: ObjectQuery) -> ContextQuery {
+        ContextQuery { target: Some(target), context, distinct_sibling: true }
+    }
+
+    /// Any object whose context matches (no criteria on the object).
+    pub fn any_with_context(context: ObjectQuery) -> ContextQuery {
+        ContextQuery { target: None, context, distinct_sibling: true }
+    }
+}
+
+impl MetadataCatalog {
+    /// Evaluate a [`ContextQuery`]; returns sorted object ids.
+    ///
+    /// Membership is taken at the *direct* collection level (an object's
+    /// context is every collection it belongs to, expanded over nested
+    /// sub-collections from those roots).
+    pub fn query_with_context(&self, q: &ContextQuery) -> Result<Vec<i64>> {
+        // Candidate targets.
+        let targets: Vec<i64> = match &q.target {
+            Some(t) => self.query(t)?,
+            None => self
+                .db()
+                .execute(&Plan::Scan { table: "objects".into(), filter: None })?
+                .rows
+                .iter()
+                .filter_map(|r| r[0].as_i64())
+                .collect(),
+        };
+        if targets.is_empty() {
+            return Ok(Vec::new());
+        }
+        let context_hits: HashSet<i64> = self.query(&q.context)?.into_iter().collect();
+        if context_hits.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        // object → direct collections (one scan of the membership table).
+        let members = self.db().execute(&Plan::Scan {
+            table: "collection_members".into(),
+            filter: Some(Expr::col_eq(1, 0i64)), // kind = object
+        })?;
+        let mut object_colls: HashMap<i64, Vec<CollectionId>> = HashMap::new();
+        let mut coll_objects: HashMap<CollectionId, Vec<i64>> = HashMap::new();
+        for row in &members.rows {
+            if let (Some(c), Some(o)) = (row[0].as_i64(), row[2].as_i64()) {
+                object_colls.entry(o).or_default().push(c);
+                coll_objects.entry(c).or_default().push(o);
+            }
+        }
+        // collection → parent collections (to widen context upward:
+        // a sibling anywhere in the shared experiment counts).
+        let links = self.db().execute(&Plan::Scan {
+            table: "collection_members".into(),
+            filter: Some(Expr::col_eq(1, 1i64)), // kind = collection
+        })?;
+        let mut parents: HashMap<CollectionId, Vec<CollectionId>> = HashMap::new();
+        for row in &links.rows {
+            if let (Some(p), Some(c)) = (row[0].as_i64(), row[2].as_i64()) {
+                parents.entry(c).or_default().push(p);
+            }
+        }
+
+        let mut out = BTreeSet::new();
+        for &obj in &targets {
+            let Some(direct) = object_colls.get(&obj) else { continue };
+            // Root set: every ancestor collection of the object.
+            let mut roots = HashSet::new();
+            let mut stack: Vec<CollectionId> = direct.clone();
+            while let Some(c) = stack.pop() {
+                if roots.insert(c) {
+                    if let Some(ps) = parents.get(&c) {
+                        stack.extend(ps.iter().copied());
+                    }
+                }
+            }
+            // Context = all objects in any subtree under those roots.
+            'ctx: for &root in &roots {
+                for sibling in self.collection_objects(root)? {
+                    if q.distinct_sibling && sibling == obj {
+                        continue;
+                    }
+                    if context_hits.contains(&sibling) {
+                        out.insert(obj);
+                        break 'ctx;
+                    }
+                }
+            }
+            let _ = coll_objects;
+        }
+        Ok(out.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogConfig;
+    use crate::lead::lead_catalog;
+    use crate::qparse::parse_query;
+
+    fn radar_doc(station: &str) -> String {
+        format!(
+            "<LEADresource><resourceID>radar-{station}</resourceID><data>\
+             <idinfo><keywords><theme><themekt>CF</themekt>\
+             <themekey>radar_reflectivity</themekey></theme></keywords></idinfo>\
+             </data></LEADresource>"
+        )
+    }
+
+    fn forecast_doc(dx: f64) -> String {
+        format!(
+            "<LEADresource><resourceID>fcst</resourceID><data>\
+             <idinfo><keywords/></idinfo>\
+             <geospatial><eainfo><detailed>\
+             <enttyp><enttypl>grid</enttypl><enttypds>ARPS</enttypds></enttyp>\
+             <attr><attrlabl>dx</attrlabl><attrdefs>ARPS</attrdefs><attrv>{dx}</attrv></attr>\
+             </detailed></eainfo></geospatial></data></LEADresource>"
+        )
+    }
+
+    #[test]
+    fn sibling_context_selects_across_objects() {
+        let cat = lead_catalog(CatalogConfig::default()).unwrap();
+        // Experiment A: 1 km forecast + its radar input.
+        let exp_a = cat.create_collection("exp-a", None).unwrap();
+        let radar_a = cat.ingest(&radar_doc("KTLX")).unwrap();
+        let fcst_a = cat.ingest(&forecast_doc(1000.0)).unwrap();
+        cat.add_object_to_collection(exp_a, radar_a).unwrap();
+        cat.add_object_to_collection(exp_a, fcst_a).unwrap();
+        // Experiment B: coarse forecast + its radar input.
+        let exp_b = cat.create_collection("exp-b", None).unwrap();
+        let radar_b = cat.ingest(&radar_doc("KINX")).unwrap();
+        let fcst_b = cat.ingest(&forecast_doc(4000.0)).unwrap();
+        cat.add_object_to_collection(exp_b, radar_b).unwrap();
+        cat.add_object_to_collection(exp_b, fcst_b).unwrap();
+
+        // "Radar files from experiments whose forecast used dx = 1000."
+        let q = ContextQuery::new(
+            parse_query("theme[themekey='radar_reflectivity']").unwrap(),
+            parse_query("grid@ARPS[dx=1000]").unwrap(),
+        );
+        assert_eq!(cat.query_with_context(&q).unwrap(), vec![radar_a]);
+    }
+
+    #[test]
+    fn context_respects_distinct_sibling() {
+        let cat = lead_catalog(CatalogConfig::default()).unwrap();
+        let exp = cat.create_collection("exp", None).unwrap();
+        let fcst = cat.ingest(&forecast_doc(1000.0)).unwrap();
+        cat.add_object_to_collection(exp, fcst).unwrap();
+        // The forecast is the only member: with distinct_sibling it has
+        // no context match...
+        let q = ContextQuery::new(
+            parse_query("grid@ARPS[dx=1000]").unwrap(),
+            parse_query("grid@ARPS[dx=1000]").unwrap(),
+        );
+        assert!(cat.query_with_context(&q).unwrap().is_empty());
+        // ...without it, it matches itself.
+        let mut q2 = q.clone();
+        q2.distinct_sibling = false;
+        assert_eq!(cat.query_with_context(&q2).unwrap(), vec![fcst]);
+    }
+
+    #[test]
+    fn context_reaches_across_nested_collections() {
+        let cat = lead_catalog(CatalogConfig::default()).unwrap();
+        let campaign = cat.create_collection("campaign", None).unwrap();
+        let inputs = cat.create_collection("inputs", None).unwrap();
+        let runs = cat.create_collection("runs", None).unwrap();
+        cat.add_subcollection(campaign, inputs).unwrap();
+        cat.add_subcollection(campaign, runs).unwrap();
+        let radar = cat.ingest(&radar_doc("KTLX")).unwrap();
+        let fcst = cat.ingest(&forecast_doc(1000.0)).unwrap();
+        cat.add_object_to_collection(inputs, radar).unwrap();
+        cat.add_object_to_collection(runs, fcst).unwrap();
+        // The radar (under inputs) shares the campaign context with the
+        // forecast (under runs).
+        let q = ContextQuery::new(
+            parse_query("theme[themekey='radar_reflectivity']").unwrap(),
+            parse_query("grid@ARPS[dx=1000]").unwrap(),
+        );
+        assert_eq!(cat.query_with_context(&q).unwrap(), vec![radar]);
+    }
+
+    #[test]
+    fn any_with_context_and_empty_cases() {
+        let cat = lead_catalog(CatalogConfig::default()).unwrap();
+        let exp = cat.create_collection("exp", None).unwrap();
+        let radar = cat.ingest(&radar_doc("KTLX")).unwrap();
+        let fcst = cat.ingest(&forecast_doc(1000.0)).unwrap();
+        cat.add_object_to_collection(exp, radar).unwrap();
+        cat.add_object_to_collection(exp, fcst).unwrap();
+        let orphan = cat.ingest(&radar_doc("KINX")).unwrap();
+
+        let q = ContextQuery::any_with_context(parse_query("grid@ARPS[dx=1000]").unwrap());
+        // radar shares context with the forecast; the forecast's own
+        // context is the radar (which doesn't match); the orphan has
+        // no collections at all.
+        assert_eq!(cat.query_with_context(&q).unwrap(), vec![radar]);
+        let _ = orphan;
+
+        let none = ContextQuery::any_with_context(parse_query("grid@ARPS[dx=77777]").unwrap());
+        assert!(cat.query_with_context(&none).unwrap().is_empty());
+    }
+}

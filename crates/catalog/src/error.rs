@@ -1,0 +1,61 @@
+//! Catalog error type.
+
+use std::fmt;
+
+/// Error raised by the metadata catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CatalogError {
+    /// Underlying XML parsing/processing failure.
+    Xml(xmlkit::XmlError),
+    /// Underlying relational engine failure.
+    Db(minidb::DbError),
+    /// The schema partition violates one of the five partitioning rules.
+    InvalidPartition(String),
+    /// A document element has no counterpart in the schema.
+    UnknownElement {
+        /// Path of the offending element.
+        path: String,
+    },
+    /// A dynamic metadata attribute or element failed validation
+    /// against the registered definitions.
+    Validation(String),
+    /// A metadata attribute/element definition problem (duplicate
+    /// name+source, missing parent, ...).
+    Definition(String),
+    /// A query references an unknown attribute or element.
+    BadQuery(String),
+    /// Object id not present in the catalog.
+    NoSuchObject(i64),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::Xml(e) => write!(f, "XML error: {e}"),
+            CatalogError::Db(e) => write!(f, "database error: {e}"),
+            CatalogError::InvalidPartition(m) => write!(f, "invalid partition: {m}"),
+            CatalogError::UnknownElement { path } => write!(f, "element not in schema: {path}"),
+            CatalogError::Validation(m) => write!(f, "validation failed: {m}"),
+            CatalogError::Definition(m) => write!(f, "definition error: {m}"),
+            CatalogError::BadQuery(m) => write!(f, "bad query: {m}"),
+            CatalogError::NoSuchObject(id) => write!(f, "no such object: {id}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+impl From<xmlkit::XmlError> for CatalogError {
+    fn from(e: xmlkit::XmlError) -> Self {
+        CatalogError::Xml(e)
+    }
+}
+
+impl From<minidb::DbError> for CatalogError {
+    fn from(e: minidb::DbError) -> Self {
+        CatalogError::Db(e)
+    }
+}
+
+/// Result alias for catalog operations.
+pub type Result<T> = std::result::Result<T, CatalogError>;

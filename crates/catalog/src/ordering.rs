@@ -1,0 +1,244 @@
+//! Global schema-level ordering (§2, §5).
+//!
+//! The paper's key observation: because every repeating or recursive
+//! element lives *inside* a metadata attribute, only the nodes at or
+//! above attribute roots need ordering, and that ordering can be
+//! computed **once per schema** instead of per document (contrast
+//! Tatarinov et al., where global/local/Dewey orders must be maintained
+//! per document on every update — our E7 ablation measures that cost).
+//!
+//! For each ordered node we keep its pre-order number, tag, the order
+//! of the last ordered node in its subtree (so closing tags can be
+//! emitted with set operations — no external tagger), and its depth.
+//! A node → ancestors inverted list supports the response builder's
+//! "which wrapper tags does this object need" join.
+
+use crate::partition::{NodeRole, Partition};
+use std::collections::HashMap;
+use xmlkit::schema::{ChildRef, SchemaNodeId};
+
+/// Order number of a node in the global schema ordering (1-based).
+pub type OrderId = u32;
+
+/// One entry of the global ordering table.
+#[derive(Debug, Clone)]
+pub struct OrderedNode {
+    /// Pre-order position, starting at 1 for the document root.
+    pub order: OrderId,
+    /// Schema node this entry describes.
+    pub node: SchemaNodeId,
+    /// Element tag.
+    pub tag: String,
+    /// Largest order in this node's subtree (== `order` for attribute
+    /// roots, which close before the next ordered node opens).
+    pub last: OrderId,
+    /// Depth below the document root (root = 0).
+    pub depth: u32,
+    /// True when this entry is an attribute root (a CLOB anchor) rather
+    /// than a wrapper.
+    pub is_attr_root: bool,
+}
+
+/// The global ordering: ordered nodes plus ancestor inverted list.
+#[derive(Debug, Clone)]
+pub struct GlobalOrdering {
+    nodes: Vec<OrderedNode>,
+    by_schema_node: HashMap<SchemaNodeId, OrderId>,
+    /// `ancestors[i]` = orders of the strict ancestors of node with
+    /// order `i + 1`, from root downward.
+    ancestors: Vec<Vec<OrderId>>,
+}
+
+impl GlobalOrdering {
+    /// Compute the ordering for a partitioned schema.
+    pub fn new(partition: &Partition) -> GlobalOrdering {
+        let schema = partition.schema();
+        let mut nodes: Vec<OrderedNode> = Vec::new();
+        let mut by_schema_node = HashMap::new();
+        let mut ancestors: Vec<Vec<OrderId>> = Vec::new();
+
+        // Pre-order DFS over wrappers and attribute roots only.
+        // Recursion depth equals upper-schema depth, which is small.
+        fn visit(
+            partition: &Partition,
+            id: SchemaNodeId,
+            depth: u32,
+            anc: &mut Vec<OrderId>,
+            nodes: &mut Vec<OrderedNode>,
+            by: &mut HashMap<SchemaNodeId, OrderId>,
+            ancestors: &mut Vec<Vec<OrderId>>,
+        ) -> OrderId {
+            let schema = partition.schema();
+            let order = (nodes.len() + 1) as OrderId;
+            let role = partition.role(id);
+            let is_attr_root = matches!(role, NodeRole::AttributeRoot { .. });
+            nodes.push(OrderedNode {
+                order,
+                node: id,
+                tag: schema.node(id).name.clone(),
+                last: order, // patched below
+                depth,
+                is_attr_root,
+            });
+            by.insert(id, order);
+            ancestors.push(anc.clone());
+            let mut last = order;
+            if !is_attr_root {
+                anc.push(order);
+                for c in schema.node(id).children.iter() {
+                    if let ChildRef::Node(n) = c {
+                        let child_last = visit(partition, *n, depth + 1, anc, nodes, by, ancestors);
+                        last = last.max(child_last);
+                    }
+                }
+                anc.pop();
+            }
+            nodes[(order - 1) as usize].last = last;
+            last
+        }
+
+        let mut anc = Vec::new();
+        visit(
+            partition,
+            schema.root(),
+            0,
+            &mut anc,
+            &mut nodes,
+            &mut by_schema_node,
+            &mut ancestors,
+        );
+        GlobalOrdering { nodes, by_schema_node, ancestors }
+    }
+
+    /// All ordered nodes, by ascending order.
+    pub fn nodes(&self) -> &[OrderedNode] {
+        &self.nodes
+    }
+
+    /// Number of ordered nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when empty (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Entry for a given order id.
+    pub fn node(&self, order: OrderId) -> &OrderedNode {
+        &self.nodes[(order - 1) as usize]
+    }
+
+    /// Order of a schema node (wrappers and attribute roots only).
+    pub fn order_of(&self, id: SchemaNodeId) -> Option<OrderId> {
+        self.by_schema_node.get(&id).copied()
+    }
+
+    /// Strict-ancestor orders of `order`, root first.
+    pub fn ancestors_of(&self, order: OrderId) -> &[OrderId] {
+        &self.ancestors[(order - 1) as usize]
+    }
+
+    /// `(node order, ancestor order)` pairs for the whole schema — the
+    /// inverted list the catalog materializes as a table.
+    pub fn ancestor_pairs(&self) -> Vec<(OrderId, OrderId)> {
+        let mut out = Vec::new();
+        for n in &self.nodes {
+            for &a in self.ancestors_of(n.order) {
+                out.push((n.order, a));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionSpec;
+    use std::sync::Arc;
+    use xmlkit::schema::Schema;
+
+    fn ordering() -> (Arc<Schema>, Partition, GlobalOrdering) {
+        let s = Arc::new(
+            Schema::parse_dsl(
+                "root {
+                    id
+                    meta {
+                        status { progress update }
+                        theme* { kt key+ }
+                    }
+                    geo {
+                        detailed* {
+                            enttyp { enttypl enttypds }
+                            attr* { attrlabl attrdefs attrv? ^attr }
+                        }
+                    }
+                 }",
+            )
+            .unwrap(),
+        );
+        let spec = PartitionSpec::default()
+            .attr("/root/id")
+            .attr("/root/meta/status")
+            .attr("/root/meta/theme")
+            .dynamic_attr("/root/geo/detailed");
+        let p = Partition::new(s.clone(), &spec).unwrap();
+        let o = GlobalOrdering::new(&p);
+        (s, p, o)
+    }
+
+    #[test]
+    fn preorder_numbers() {
+        let (s, _, o) = ordering();
+        // root=1 id=2 meta=3 status=4 theme=5 geo=6 detailed=7
+        assert_eq!(o.len(), 7);
+        assert_eq!(o.order_of(s.root()), Some(1));
+        assert_eq!(o.order_of(s.resolve_path("/root/id").unwrap()), Some(2));
+        assert_eq!(o.order_of(s.resolve_path("/root/meta").unwrap()), Some(3));
+        assert_eq!(o.order_of(s.resolve_path("/root/meta/status").unwrap()), Some(4));
+        assert_eq!(o.order_of(s.resolve_path("/root/meta/theme").unwrap()), Some(5));
+        assert_eq!(o.order_of(s.resolve_path("/root/geo").unwrap()), Some(6));
+        assert_eq!(o.order_of(s.resolve_path("/root/geo/detailed").unwrap()), Some(7));
+        // nodes inside attributes are unordered
+        assert_eq!(o.order_of(s.resolve_path("/root/meta/theme/kt").unwrap()), None);
+    }
+
+    #[test]
+    fn last_child_orders() {
+        let (_, _, o) = ordering();
+        assert_eq!(o.node(1).last, 7); // root spans everything
+        assert_eq!(o.node(3).last, 5); // meta spans status..theme
+        assert_eq!(o.node(4).last, 4); // attribute roots close immediately
+        assert_eq!(o.node(6).last, 7); // geo spans detailed
+    }
+
+    #[test]
+    fn depths_and_flags() {
+        let (_, _, o) = ordering();
+        assert_eq!(o.node(1).depth, 0);
+        assert_eq!(o.node(4).depth, 2);
+        assert!(o.node(4).is_attr_root);
+        assert!(!o.node(3).is_attr_root);
+    }
+
+    #[test]
+    fn ancestor_inverted_list() {
+        let (_, _, o) = ordering();
+        assert_eq!(o.ancestors_of(4), &[1, 3]); // status under root, meta
+        assert_eq!(o.ancestors_of(1), &[] as &[OrderId]);
+        let pairs = o.ancestor_pairs();
+        // id(2):1  meta(3):1  status(4):2  theme(5):2  geo(6):1  detailed(7):2
+        assert_eq!(pairs.len(), 1 + 1 + 2 + 2 + 1 + 2);
+        assert!(pairs.contains(&(7, 6)));
+        assert!(pairs.contains(&(7, 1)));
+    }
+
+    #[test]
+    fn tags_match_schema() {
+        let (_, _, o) = ordering();
+        assert_eq!(o.node(5).tag, "theme");
+        assert_eq!(o.node(7).tag, "detailed");
+    }
+}

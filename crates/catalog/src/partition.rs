@@ -1,0 +1,417 @@
+//! Schema partitioning: the paper's five rules (§2).
+//!
+//! The community XML schema is partitioned into **metadata attributes**
+//! (concept-level interior nodes; everything below one is stored as a
+//! CLOB and shredded for querying), **sub-attributes** (interior nodes
+//! inside an attribute), **metadata elements** (leaves inside an
+//! attribute), and **structural wrappers** (nodes above all attributes;
+//! they never repeat, so the global ordering can live at schema level).
+//!
+//! Rules enforced by [`Partition::new`]:
+//!
+//! 1. attribute roots define concepts (designated by the schema owner);
+//! 2. any repeating element must be at or below an attribute root;
+//! 3. any element declaring XML attribute nodes must be at or below an
+//!    attribute root;
+//! 4. any recursion must be inside an attribute;
+//! 5. every leaf must be inside exactly one attribute (an attribute may
+//!    itself be a leaf: "both a metadata attribute and a metadata
+//!    element").
+
+use crate::error::{CatalogError, Result};
+use std::collections::HashSet;
+use std::sync::Arc;
+use xmlkit::schema::{ChildRef, Schema, SchemaNodeId};
+
+/// Role of a schema node under a partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// Above every attribute: part of the document scaffolding that the
+    /// response builder re-creates from the global ordering.
+    Wrapper,
+    /// Root of a metadata attribute subtree.
+    AttributeRoot {
+        /// True for dynamic attributes (resolved by name+source from
+        /// element *values*, e.g. the LEAD `detailed` subtree).
+        dynamic: bool,
+    },
+    /// Interior node strictly inside an attribute subtree.
+    SubAttribute,
+    /// Leaf inside an attribute subtree: carries a data value.
+    Element,
+}
+
+/// Declares which schema nodes are metadata attributes.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionSpec {
+    /// Absolute schema paths (e.g. `/LEADresource/data/idinfo/status`)
+    /// of structural attribute roots.
+    pub structural: Vec<String>,
+    /// Absolute schema paths of dynamic attribute roots.
+    pub dynamic: Vec<String>,
+}
+
+impl PartitionSpec {
+    /// Mark a structural attribute root.
+    pub fn attr(mut self, path: &str) -> Self {
+        self.structural.push(path.to_string());
+        self
+    }
+
+    /// Mark a dynamic attribute root.
+    pub fn dynamic_attr(mut self, path: &str) -> Self {
+        self.dynamic.push(path.to_string());
+        self
+    }
+}
+
+/// A validated partition of a schema, plus derived per-node roles.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    schema: Arc<Schema>,
+    roles: Vec<NodeRole>,
+    attr_roots: Vec<SchemaNodeId>,
+}
+
+impl Partition {
+    /// Partition `schema` according to `spec`, enforcing the five rules.
+    pub fn new(schema: Arc<Schema>, spec: &PartitionSpec) -> Result<Partition> {
+        let mut root_set: HashSet<SchemaNodeId> = HashSet::new();
+        let mut dynamic_set: HashSet<SchemaNodeId> = HashSet::new();
+        for p in &spec.structural {
+            let id = schema.resolve_path(p).ok_or_else(|| {
+                CatalogError::InvalidPartition(format!("no schema node at {p}"))
+            })?;
+            root_set.insert(id);
+        }
+        for p in &spec.dynamic {
+            let id = schema.resolve_path(p).ok_or_else(|| {
+                CatalogError::InvalidPartition(format!("no schema node at {p}"))
+            })?;
+            if !root_set.insert(id) {
+                return Err(CatalogError::InvalidPartition(format!(
+                    "{p} marked both structural and dynamic"
+                )));
+            }
+            dynamic_set.insert(id);
+        }
+        if root_set.contains(&schema.root()) {
+            return Err(CatalogError::InvalidPartition(
+                "the document root cannot be a metadata attribute".into(),
+            ));
+        }
+
+        // Assign roles by walking from the root, tracking whether we are
+        // inside an attribute subtree.
+        let mut roles = vec![NodeRole::Wrapper; schema.len()];
+        let mut attr_roots = Vec::new();
+        let mut stack: Vec<(SchemaNodeId, bool)> = vec![(schema.root(), false)];
+        while let Some((id, inside)) = stack.pop() {
+            let node = schema.node(id);
+            let is_root_here = root_set.contains(&id);
+            if is_root_here && inside {
+                return Err(CatalogError::InvalidPartition(format!(
+                    "attribute {} is nested inside another attribute; \
+                     only one attribute may appear on any root-to-leaf path",
+                    node.name
+                )));
+            }
+            let now_inside = inside || is_root_here;
+            roles[id.index()] = if is_root_here {
+                attr_roots.push(id);
+                NodeRole::AttributeRoot { dynamic: dynamic_set.contains(&id) }
+            } else if inside {
+                if node.is_leaf() {
+                    NodeRole::Element
+                } else {
+                    NodeRole::SubAttribute
+                }
+            } else {
+                NodeRole::Wrapper
+            };
+            for c in node.children.iter().rev() {
+                if let ChildRef::Node(n) = c {
+                    stack.push((*n, now_inside));
+                }
+            }
+        }
+        attr_roots.sort_unstable();
+
+        // Rule checks over the assigned roles.
+        for id in schema.preorder() {
+            let node = schema.node(id);
+            let role = roles[id.index()];
+            match role {
+                NodeRole::Wrapper => {
+                    // Rule 2: repetition must be inside an attribute.
+                    if node.cardinality.repeating() {
+                        return Err(CatalogError::InvalidPartition(format!(
+                            "repeating element {} must be contained within a metadata attribute",
+                            node.name
+                        )));
+                    }
+                    // Rule 3: XML attribute nodes must be inside an attribute.
+                    if node.declares_xml_attrs {
+                        return Err(CatalogError::InvalidPartition(format!(
+                            "element {} declares XML attributes and must be within a metadata attribute",
+                            node.name
+                        )));
+                    }
+                    // Rule 4: recursion must be inside an attribute.
+                    if node.has_recursive_child() {
+                        return Err(CatalogError::InvalidPartition(format!(
+                            "recursive element {} must be contained within a metadata attribute",
+                            node.name
+                        )));
+                    }
+                    // Rule 5: every leaf inside an attribute.
+                    if node.is_leaf() {
+                        return Err(CatalogError::InvalidPartition(format!(
+                            "leaf element {} is not contained in any metadata attribute",
+                            node.name
+                        )));
+                    }
+                }
+                NodeRole::AttributeRoot { dynamic: true } if node.is_leaf() => {
+                    return Err(CatalogError::InvalidPartition(format!(
+                        "dynamic attribute {} cannot be a leaf",
+                        node.name
+                    )));
+                }
+                _ => {}
+            }
+        }
+
+        Ok(Partition { schema, roles, attr_roots })
+    }
+
+    /// Derive a partition automatically: mark as attribute roots the
+    /// shallowest nodes that *must* live inside an attribute (repeating,
+    /// XML-attributed, recursive, or leaf), then widen each candidate to
+    /// the deepest valid concept node. Subtrees containing recursion are
+    /// marked dynamic.
+    ///
+    /// This realizes the paper's "annotated schema" framework idea for
+    /// schemas without hand annotations; hand-written specs (like the
+    /// LEAD fixture) take precedence in practice.
+    pub fn auto(schema: Arc<Schema>) -> Result<Partition> {
+        let mut spec = PartitionSpec::default();
+        // A node must be inside an attribute if its subtree repeats,
+        // declares xml attrs, recurses, or it is a leaf. Walk top-down;
+        // the first node at which "must be inside" becomes true is made
+        // an attribute root (choosing the highest legal root keeps
+        // wrappers order-stable).
+        fn subtree_has_recursion(s: &Schema, id: SchemaNodeId) -> bool {
+            let node = s.node(id);
+            if node.has_recursive_child() {
+                return true;
+            }
+            node.children.iter().any(|c| match c {
+                ChildRef::Node(n) => subtree_has_recursion(s, *n),
+                ChildRef::Recurse(_) => true,
+            })
+        }
+        fn walk(s: &Schema, id: SchemaNodeId, spec: &mut PartitionSpec, path: String) {
+            let node = s.node(id);
+            let here = format!("{path}/{}", node.name);
+            let must = node.cardinality.repeating()
+                || node.declares_xml_attrs
+                || node.is_leaf()
+                || node.has_recursive_child();
+            if must && s.node(id).parent.is_some() {
+                if subtree_has_recursion(s, id) {
+                    spec.dynamic.push(here);
+                } else {
+                    spec.structural.push(here);
+                }
+                return; // everything below is inside this attribute
+            }
+            for c in node.children.iter() {
+                if let ChildRef::Node(n) = c {
+                    walk(s, *n, spec, here.clone());
+                }
+            }
+        }
+        walk(&schema, schema.root(), &mut spec, String::new());
+        Partition::new(schema, &spec)
+    }
+
+    /// The underlying schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Role of a schema node.
+    pub fn role(&self, id: SchemaNodeId) -> NodeRole {
+        self.roles[id.index()]
+    }
+
+    /// All attribute roots in schema order.
+    pub fn attr_roots(&self) -> &[SchemaNodeId] {
+        &self.attr_roots
+    }
+
+    /// True when `id` is an attribute root.
+    pub fn is_attr_root(&self, id: SchemaNodeId) -> bool {
+        matches!(self.role(id), NodeRole::AttributeRoot { .. })
+    }
+
+    /// True when `id` is a dynamic attribute root.
+    pub fn is_dynamic_root(&self, id: SchemaNodeId) -> bool {
+        matches!(self.role(id), NodeRole::AttributeRoot { dynamic: true })
+    }
+
+    /// The attribute root containing `id` (itself included), if any.
+    pub fn containing_attr(&self, id: SchemaNodeId) -> Option<SchemaNodeId> {
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            if self.is_attr_root(c) {
+                return Some(c);
+            }
+            cur = self.schema.node(c).parent;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlkit::schema::Schema;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::parse_dsl(
+                "root {
+                    id
+                    meta {
+                        status { progress update }
+                        theme* { kt key+ }
+                    }
+                    detailed* {
+                        enttyp { enttypl enttypds }
+                        attr* { attrlabl attrdefs attrv? ^attr }
+                    }
+                 }",
+            )
+            .unwrap(),
+        )
+    }
+
+    fn spec() -> PartitionSpec {
+        PartitionSpec::default()
+            .attr("/root/id")
+            .attr("/root/meta/status")
+            .attr("/root/meta/theme")
+            .dynamic_attr("/root/detailed")
+    }
+
+    #[test]
+    fn roles_assigned() {
+        let s = schema();
+        let p = Partition::new(s.clone(), &spec()).unwrap();
+        let status = s.resolve_path("/root/meta/status").unwrap();
+        assert_eq!(p.role(status), NodeRole::AttributeRoot { dynamic: false });
+        let progress = s.resolve_path("/root/meta/status/progress").unwrap();
+        assert_eq!(p.role(progress), NodeRole::Element);
+        let meta = s.resolve_path("/root/meta").unwrap();
+        assert_eq!(p.role(meta), NodeRole::Wrapper);
+        let attr = s.resolve_path("/root/detailed/attr").unwrap();
+        assert_eq!(p.role(attr), NodeRole::SubAttribute);
+        let detailed = s.resolve_path("/root/detailed").unwrap();
+        assert!(p.is_dynamic_root(detailed));
+        assert_eq!(p.attr_roots().len(), 4);
+    }
+
+    #[test]
+    fn leaf_attribute_allowed() {
+        // `id` is both a metadata attribute and a metadata element.
+        let s = schema();
+        let p = Partition::new(s.clone(), &spec()).unwrap();
+        let id = s.resolve_path("/root/id").unwrap();
+        assert!(p.is_attr_root(id));
+    }
+
+    #[test]
+    fn rule_leaf_must_be_covered() {
+        let s = schema();
+        let bad = PartitionSpec::default()
+            .attr("/root/meta/status")
+            .attr("/root/meta/theme")
+            .dynamic_attr("/root/detailed"); // /root/id uncovered
+        let err = Partition::new(s, &bad).unwrap_err();
+        assert!(matches!(err, CatalogError::InvalidPartition(m) if m.contains("leaf")));
+    }
+
+    #[test]
+    fn rule_repeating_must_be_covered() {
+        let s = schema();
+        let bad = PartitionSpec::default()
+            .attr("/root/id")
+            .attr("/root/meta/status")
+            .attr("/root/meta/theme/kt")
+            .attr("/root/meta/theme/key") // theme itself repeats but is a wrapper now
+            .dynamic_attr("/root/detailed");
+        let err = Partition::new(s, &bad).unwrap_err();
+        assert!(matches!(err, CatalogError::InvalidPartition(m) if m.contains("repeating")));
+    }
+
+    #[test]
+    fn rule_recursion_must_be_covered() {
+        let s = Arc::new(
+            Schema::parse_dsl("r { leaf x { y ^x } }").unwrap(),
+        );
+        let bad = PartitionSpec::default().attr("/r/leaf").attr("/r/x/y");
+        let err = Partition::new(s, &bad).unwrap_err();
+        assert!(matches!(err, CatalogError::InvalidPartition(m) if m.contains("recursive")));
+    }
+
+    #[test]
+    fn rule_no_nested_attributes() {
+        let s = schema();
+        let bad = spec().attr("/root/meta/theme/kt");
+        let err = Partition::new(s, &bad).unwrap_err();
+        assert!(matches!(err, CatalogError::InvalidPartition(m) if m.contains("nested")));
+    }
+
+    #[test]
+    fn rule_xml_attrs_must_be_covered() {
+        let s = Arc::new(Schema::parse_dsl("r { w@ { leaf } }").unwrap());
+        let bad = PartitionSpec::default().attr("/r/w/leaf");
+        let err = Partition::new(s, &bad).unwrap_err();
+        assert!(matches!(err, CatalogError::InvalidPartition(m) if m.contains("XML attributes")));
+    }
+
+    #[test]
+    fn root_cannot_be_attribute() {
+        let s = schema();
+        let bad = PartitionSpec::default().attr("/root");
+        assert!(Partition::new(s, &bad).is_err());
+    }
+
+    #[test]
+    fn auto_partition_valid_and_covers() {
+        let s = schema();
+        let p = Partition::auto(s.clone()).unwrap();
+        // every leaf covered
+        for id in s.preorder() {
+            if s.node(id).is_leaf() {
+                assert!(p.containing_attr(id).is_some(), "leaf {} uncovered", s.node(id).name);
+            }
+        }
+        // detailed subtree must be dynamic (contains recursion)
+        let detailed = s.resolve_path("/root/detailed").unwrap();
+        assert!(p.is_dynamic_root(detailed));
+    }
+
+    #[test]
+    fn containing_attr_walks_up() {
+        let s = schema();
+        let p = Partition::new(s.clone(), &spec()).unwrap();
+        let key = s.resolve_path("/root/meta/theme/key").unwrap();
+        let theme = s.resolve_path("/root/meta/theme").unwrap();
+        assert_eq!(p.containing_attr(key), Some(theme));
+        let meta = s.resolve_path("/root/meta").unwrap();
+        assert_eq!(p.containing_attr(meta), None);
+    }
+}

@@ -1,0 +1,232 @@
+//! Attribute query model (§4).
+//!
+//! Scientists query the catalog for *objects* whose metadata attributes
+//! satisfy value predicates — never for paths. This module is the Rust
+//! equivalent of the paper's Java `MyFile`/`MyAttr` API:
+//!
+//! ```
+//! use catalog::query::{AttrQuery, ElemCond, ObjectQuery};
+//!
+//! // "grid" (ARPS) with dx = 1000, having a "grid-stretching" (ARPS)
+//! // sub-attribute with dzmin = 100  — the paper's §4 example.
+//! let q = ObjectQuery::new().attr(
+//!     AttrQuery::new("grid").source("ARPS")
+//!         .elem(ElemCond::eq_num("dx", 1000.0))
+//!         .sub(AttrQuery::new("grid-stretching").source("ARPS")
+//!             .elem(ElemCond::eq_num("dzmin", 100.0))),
+//! );
+//! assert_eq!(q.attrs.len(), 1);
+//! ```
+
+/// Comparison operator in an element condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QOp {
+    /// Equal (`MYEQUAL` in myLEAD's Java API).
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// SQL LIKE pattern over the string value.
+    Like,
+    /// Inclusive numeric range (uses `value` .. `value2`).
+    Between,
+    /// The element exists with any value.
+    Exists,
+}
+
+/// Condition value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QValue {
+    /// Compared against the numeric column.
+    Num(f64),
+    /// Compared against the string column.
+    Str(String),
+}
+
+/// One element criterion inside an attribute query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElemCond {
+    /// Element name.
+    pub name: String,
+    /// Operator.
+    pub op: QOp,
+    /// Primary comparison value (ignored for `Exists`).
+    pub value: QValue,
+    /// Upper bound for `Between`.
+    pub value2: Option<QValue>,
+}
+
+impl ElemCond {
+    /// `name = number`.
+    pub fn eq_num(name: impl Into<String>, v: f64) -> ElemCond {
+        ElemCond { name: name.into(), op: QOp::Eq, value: QValue::Num(v), value2: None }
+    }
+
+    /// `name = string`.
+    pub fn eq_str(name: impl Into<String>, v: impl Into<String>) -> ElemCond {
+        ElemCond { name: name.into(), op: QOp::Eq, value: QValue::Str(v.into()), value2: None }
+    }
+
+    /// `name op number`.
+    pub fn num(name: impl Into<String>, op: QOp, v: f64) -> ElemCond {
+        ElemCond { name: name.into(), op, value: QValue::Num(v), value2: None }
+    }
+
+    /// `name op string`.
+    pub fn str(name: impl Into<String>, op: QOp, v: impl Into<String>) -> ElemCond {
+        ElemCond { name: name.into(), op, value: QValue::Str(v.into()), value2: None }
+    }
+
+    /// `name LIKE pattern`.
+    pub fn like(name: impl Into<String>, pattern: impl Into<String>) -> ElemCond {
+        ElemCond { name: name.into(), op: QOp::Like, value: QValue::Str(pattern.into()), value2: None }
+    }
+
+    /// `lo <= name <= hi`.
+    pub fn between(name: impl Into<String>, lo: f64, hi: f64) -> ElemCond {
+        ElemCond {
+            name: name.into(),
+            op: QOp::Between,
+            value: QValue::Num(lo),
+            value2: Some(QValue::Num(hi)),
+        }
+    }
+
+    /// `name` exists.
+    pub fn exists(name: impl Into<String>) -> ElemCond {
+        ElemCond { name: name.into(), op: QOp::Exists, value: QValue::Num(0.0), value2: None }
+    }
+}
+
+/// A metadata-attribute criterion: which attribute, which element
+/// conditions, and which nested sub-attribute criteria.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrQuery {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute source (`None` for structural attributes).
+    pub source: Option<String>,
+    /// Element conditions (conjunctive).
+    pub elems: Vec<ElemCond>,
+    /// Sub-attribute criteria (conjunctive).
+    pub subs: Vec<AttrQuery>,
+    /// Require sub-attributes to be *direct* children of this attribute
+    /// instance rather than any descendant (default false: the paper's
+    /// inverted list matches at any depth).
+    pub direct_subs: bool,
+}
+
+impl AttrQuery {
+    /// Criterion on the named attribute.
+    pub fn new(name: impl Into<String>) -> AttrQuery {
+        AttrQuery { name: name.into(), source: None, elems: Vec::new(), subs: Vec::new(), direct_subs: false }
+    }
+
+    /// Set the defining source (dynamic attributes).
+    pub fn source(mut self, source: impl Into<String>) -> AttrQuery {
+        self.source = Some(source.into());
+        self
+    }
+
+    /// Add an element condition.
+    pub fn elem(mut self, cond: ElemCond) -> AttrQuery {
+        self.elems.push(cond);
+        self
+    }
+
+    /// Add a sub-attribute criterion.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(mut self, sub: AttrQuery) -> AttrQuery {
+        self.subs.push(sub);
+        self
+    }
+
+    /// Require direct parent-child instance linkage for `subs`.
+    pub fn direct(mut self) -> AttrQuery {
+        self.direct_subs = true;
+        self
+    }
+
+    /// Total number of element conditions in this subtree.
+    pub fn subtree_elem_count(&self) -> usize {
+        self.elems.len() + self.subs.iter().map(|s| s.subtree_elem_count()).sum::<usize>()
+    }
+
+    /// Total number of attribute criteria in this subtree (self incl.).
+    pub fn subtree_attr_count(&self) -> usize {
+        1 + self.subs.iter().map(|s| s.subtree_attr_count()).sum::<usize>()
+    }
+}
+
+/// A whole object query: conjunctive top-level attribute criteria.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObjectQuery {
+    /// Top-level attribute criteria (all must match).
+    pub attrs: Vec<AttrQuery>,
+}
+
+impl ObjectQuery {
+    /// Empty query (matches nothing until criteria are added).
+    pub fn new() -> ObjectQuery {
+        ObjectQuery::default()
+    }
+
+    /// Add a top-level attribute criterion.
+    pub fn attr(mut self, a: AttrQuery) -> ObjectQuery {
+        self.attrs.push(a);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_mirrors_paper_example() {
+        let q = ObjectQuery::new().attr(
+            AttrQuery::new("grid")
+                .source("ARPS")
+                .elem(ElemCond::eq_num("dx", 1000.0))
+                .sub(
+                    AttrQuery::new("grid-stretching")
+                        .source("ARPS")
+                        .elem(ElemCond::eq_num("dzmin", 100.0)),
+                ),
+        );
+        assert_eq!(q.attrs.len(), 1);
+        let grid = &q.attrs[0];
+        assert_eq!(grid.source.as_deref(), Some("ARPS"));
+        assert_eq!(grid.elems.len(), 1);
+        assert_eq!(grid.subs.len(), 1);
+        assert_eq!(grid.subtree_elem_count(), 2);
+        assert_eq!(grid.subtree_attr_count(), 2);
+    }
+
+    #[test]
+    fn cond_constructors() {
+        assert_eq!(ElemCond::eq_num("x", 1.0).op, QOp::Eq);
+        assert_eq!(ElemCond::like("x", "a%").op, QOp::Like);
+        let b = ElemCond::between("x", 1.0, 2.0);
+        assert_eq!(b.op, QOp::Between);
+        assert_eq!(b.value2, Some(QValue::Num(2.0)));
+        assert_eq!(ElemCond::exists("x").op, QOp::Exists);
+        assert_eq!(ElemCond::str("x", QOp::Ne, "v").value, QValue::Str("v".into()));
+    }
+
+    #[test]
+    fn counts_nested() {
+        let q = AttrQuery::new("a")
+            .elem(ElemCond::exists("e1"))
+            .sub(AttrQuery::new("b").elem(ElemCond::exists("e2")).sub(AttrQuery::new("c")));
+        assert_eq!(q.subtree_elem_count(), 2);
+        assert_eq!(q.subtree_attr_count(), 3);
+    }
+}

@@ -1,0 +1,266 @@
+//! Sharded catalog: horizontal partitioning across independent
+//! catalog instances.
+//!
+//! §4 notes the physical implementation may differ, "including possible
+//! partitioning of the data". This module realizes that: N independent
+//! [`MetadataCatalog`] shards behind one façade. Objects are routed to
+//! shards round-robin at ingest; queries fan out to every shard (on
+//! scoped threads) and merge; responses route by the id's embedded
+//! shard tag. Each shard has its own tables and locks, so multi-core
+//! deployments scale ingest and query beyond a single catalog's
+//! writer serialization.
+//!
+//! Object ids are tagged: `global_id = local_id * shard_count + shard`.
+
+use crate::catalog::{CatalogConfig, CatalogStats, MetadataCatalog};
+use crate::defs::{AttrId, DefLevel, DynamicAttrSpec};
+use crate::error::{CatalogError, Result};
+use crate::partition::Partition;
+use crate::query::ObjectQuery;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A catalog horizontally partitioned over N shards.
+pub struct ShardedCatalog {
+    shards: Vec<MetadataCatalog>,
+    next: AtomicUsize,
+}
+
+impl ShardedCatalog {
+    /// Create `shard_count` shards over the same partitioned schema.
+    pub fn new(partition: Partition, config: CatalogConfig, shard_count: usize) -> Result<ShardedCatalog> {
+        if shard_count == 0 {
+            return Err(CatalogError::Definition("shard count must be positive".into()));
+        }
+        let shards = (0..shard_count)
+            .map(|_| MetadataCatalog::new(partition.clone(), config.clone()))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ShardedCatalog { shards, next: AtomicUsize::new(0) })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Register a dynamic attribute on *every* shard (definitions must
+    /// agree across shards for queries to be meaningful).
+    pub fn register_dynamic(&self, anchor_path: &str, spec: &DynamicAttrSpec, level: DefLevel) -> Result<Vec<AttrId>> {
+        self.shards
+            .iter()
+            .map(|s| s.register_dynamic(anchor_path, spec, level.clone()))
+            .collect()
+    }
+
+    fn tag(&self, shard: usize, local: i64) -> i64 {
+        local * self.shards.len() as i64 + shard as i64
+    }
+
+    fn untag(&self, global: i64) -> Result<(usize, i64)> {
+        if global < 0 {
+            return Err(CatalogError::NoSuchObject(global));
+        }
+        let n = self.shards.len() as i64;
+        Ok(((global % n) as usize, global / n))
+    }
+
+    /// Ingest one document on the next shard (round-robin).
+    pub fn ingest(&self, xml: &str) -> Result<i64> {
+        let shard = self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let local = self.shards[shard].ingest(xml)?;
+        Ok(self.tag(shard, local))
+    }
+
+    /// Ingest a batch, spreading documents across shards and shredding
+    /// on one thread per shard.
+    pub fn ingest_batch(&self, docs: &[String]) -> Result<Vec<i64>> {
+        let n = self.shards.len();
+        // Deal documents round-robin so ids interleave deterministically.
+        let mut per_shard: Vec<Vec<&String>> = vec![Vec::new(); n];
+        for (i, d) in docs.iter().enumerate() {
+            per_shard[i % n].push(d);
+        }
+        let results: Vec<Result<Vec<i64>>> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (shard, batch) in per_shard.iter().enumerate() {
+                let cat = &self.shards[shard];
+                handles.push(scope.spawn(move |_| {
+                    batch.iter().map(|d| cat.ingest(d)).collect::<Result<Vec<i64>>>()
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+        })
+        .expect("crossbeam scope");
+        // Re-interleave to match input order.
+        let mut tagged: Vec<Vec<i64>> = Vec::with_capacity(n);
+        for (shard, r) in results.into_iter().enumerate() {
+            tagged.push(r?.into_iter().map(|local| self.tag(shard, local)).collect());
+        }
+        let mut out = Vec::with_capacity(docs.len());
+        let mut cursors = vec![0usize; n];
+        for i in 0..docs.len() {
+            let shard = i % n;
+            out.push(tagged[shard][cursors[shard]]);
+            cursors[shard] += 1;
+        }
+        Ok(out)
+    }
+
+    /// Run a query on every shard concurrently and merge the ids.
+    pub fn query(&self, q: &ObjectQuery) -> Result<Vec<i64>> {
+        let results: Vec<Result<Vec<i64>>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|s| scope.spawn(move |_| s.query(q)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard query panicked")).collect()
+        })
+        .expect("crossbeam scope");
+        let mut out = Vec::new();
+        for (shard, r) in results.into_iter().enumerate() {
+            out.extend(r?.into_iter().map(|local| self.tag(shard, local)));
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Reconstruct documents, routing each id to its shard.
+    pub fn fetch_documents(&self, ids: &[i64]) -> Result<Vec<(i64, String)>> {
+        let mut per_shard: Vec<Vec<i64>> = vec![Vec::new(); self.shards.len()];
+        for &g in ids {
+            let (shard, local) = self.untag(g)?;
+            per_shard[shard].push(local);
+        }
+        let mut out = Vec::with_capacity(ids.len());
+        for (shard, locals) in per_shard.iter().enumerate() {
+            if locals.is_empty() {
+                continue;
+            }
+            for (local, doc) in self.shards[shard].fetch_documents(locals)? {
+                out.push((self.tag(shard, local), doc));
+            }
+        }
+        out.sort_by_key(|(id, _)| *id);
+        Ok(out)
+    }
+
+    /// Aggregate statistics over all shards.
+    pub fn stats(&self) -> CatalogStats {
+        let mut total: Option<CatalogStats> = None;
+        for s in &self.shards {
+            let st = s.stats();
+            total = Some(match total {
+                None => st,
+                Some(acc) => CatalogStats {
+                    objects: acc.objects + st.objects,
+                    attr_rows: acc.attr_rows + st.attr_rows,
+                    elem_rows: acc.elem_rows + st.elem_rows,
+                    ancestor_rows: acc.ancestor_rows + st.ancestor_rows,
+                    clob_count: acc.clob_count + st.clob_count,
+                    clob_bytes: acc.clob_bytes + st.clob_bytes,
+                    attr_defs: st.attr_defs, // identical across shards
+                    elem_defs: st.elem_defs,
+                    table_count: acc.table_count + st.table_count,
+                },
+            });
+        }
+        total.expect("at least one shard")
+    }
+
+    /// Borrow a shard (diagnostics, tests).
+    pub fn shard(&self, i: usize) -> &MetadataCatalog {
+        &self.shards[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lead::{fig4_query, lead_partition, register_arps_defs, FIG3_DOCUMENT};
+
+    fn sharded(n: usize) -> ShardedCatalog {
+        let s = ShardedCatalog::new(lead_partition(), CatalogConfig::default(), n).unwrap();
+        for shard in 0..n {
+            register_arps_defs(s.shard(shard)).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn round_robin_and_global_ids() {
+        let s = sharded(3);
+        let a = s.ingest(FIG3_DOCUMENT).unwrap();
+        let b = s.ingest(FIG3_DOCUMENT).unwrap();
+        let c = s.ingest(FIG3_DOCUMENT).unwrap();
+        let d = s.ingest(FIG3_DOCUMENT).unwrap();
+        // Distinct global ids across shards.
+        let mut ids = vec![a, b, c, d];
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+        assert_eq!(s.stats().objects, 4);
+        // Each shard holds at least one object.
+        assert!((0..3).all(|i| s.shard(i).stats().objects >= 1));
+    }
+
+    #[test]
+    fn query_fans_out_and_merges() {
+        let s = sharded(2);
+        let mut expected = Vec::new();
+        for _ in 0..6 {
+            expected.push(s.ingest(FIG3_DOCUMENT).unwrap());
+        }
+        expected.sort_unstable();
+        assert_eq!(s.query(&fig4_query()).unwrap(), expected);
+    }
+
+    #[test]
+    fn fetch_routes_by_shard() {
+        let s = sharded(2);
+        let ids: Vec<i64> = (0..4).map(|_| s.ingest(FIG3_DOCUMENT).unwrap()).collect();
+        let docs = s.fetch_documents(&ids).unwrap();
+        assert_eq!(docs.len(), 4);
+        assert!(docs.iter().all(|(_, d)| d.contains("<LEADresource>")));
+        // ids come back sorted and tagged.
+        let returned: Vec<i64> = docs.iter().map(|(i, _)| *i).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(returned, sorted);
+    }
+
+    #[test]
+    fn batch_matches_input_order() {
+        let s = sharded(3);
+        let docs: Vec<String> = (0..7).map(|_| FIG3_DOCUMENT.to_string()).collect();
+        let ids = s.ingest_batch(&docs).unwrap();
+        assert_eq!(ids.len(), 7);
+        // Round-robin tagging: id i has shard i % 3.
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!((*id % 3) as usize, i % 3);
+        }
+    }
+
+    #[test]
+    fn agrees_with_unsharded() {
+        let sharded = sharded(3);
+        let single = crate::lead::lead_catalog(CatalogConfig::default()).unwrap();
+        for _ in 0..5 {
+            sharded.ingest(FIG3_DOCUMENT).unwrap();
+            single.ingest(FIG3_DOCUMENT).unwrap();
+        }
+        assert_eq!(
+            sharded.query(&fig4_query()).unwrap().len(),
+            single.query(&fig4_query()).unwrap().len()
+        );
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        assert!(ShardedCatalog::new(lead_partition(), CatalogConfig::default(), 0).is_err());
+    }
+
+    #[test]
+    fn bad_global_id() {
+        let s = sharded(2);
+        assert!(s.fetch_documents(&[-1]).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Adversarial query-semantics tests: per-instance conjunction,
+//! cross-attribute isolation, direct vs descendant linkage.
+
+use catalog::lead::{lead_catalog, DETAILED_PATH};
+use catalog::prelude::*;
+use xmlkit::ValueType;
+
+fn cat() -> MetadataCatalog {
+    let cat = lead_catalog(CatalogConfig::default()).unwrap();
+    cat.register_dynamic(
+        DETAILED_PATH,
+        &DynamicAttrSpec::new("physics", "WRF")
+            .element("scheme", ValueType::Str)
+            .element("level", ValueType::Float),
+        DefLevel::Admin,
+    )
+    .unwrap();
+    cat
+}
+
+fn doc(details: &str) -> String {
+    format!(
+        "<LEADresource><resourceID>r</resourceID><data>\
+         <idinfo><keywords/></idinfo>\
+         <geospatial><eainfo>{details}</eainfo></geospatial></data></LEADresource>"
+    )
+}
+
+fn physics(scheme: &str, level: f64) -> String {
+    format!(
+        "<detailed><enttyp><enttypl>physics</enttypl><enttypds>WRF</enttypds></enttyp>\
+         <attr><attrlabl>scheme</attrlabl><attrdefs>WRF</attrdefs><attrv>{scheme}</attrv></attr>\
+         <attr><attrlabl>level</attrlabl><attrdefs>WRF</attrdefs><attrv>{level}</attrv></attr>\
+         </detailed>"
+    )
+}
+
+#[test]
+fn conjunction_is_per_instance_not_per_object() {
+    let cat = cat();
+    // Object A: one instance satisfies both conditions.
+    let a = cat.ingest(&doc(&physics("thompson", 3.0))).unwrap();
+    // Object B: conditions split across two instances of the same attr.
+    let b = cat
+        .ingest(&doc(&format!("{}{}", physics("thompson", 9.0), physics("lin", 3.0))))
+        .unwrap();
+    let q = ObjectQuery::new().attr(
+        AttrQuery::new("physics")
+            .source("WRF")
+            .elem(ElemCond::eq_str("scheme", "thompson"))
+            .elem(ElemCond::eq_num("level", 3.0)),
+    );
+    // XQuery semantics: the predicates apply to ONE attribute instance.
+    assert_eq!(cat.query(&q).unwrap(), vec![a]);
+    let _ = b;
+}
+
+#[test]
+fn per_object_split_matches_via_separate_criteria() {
+    let cat = cat();
+    let b = cat
+        .ingest(&doc(&format!("{}{}", physics("thompson", 9.0), physics("lin", 3.0))))
+        .unwrap();
+    // Two *separate* top-level criteria may match different instances.
+    let q = ObjectQuery::new()
+        .attr(AttrQuery::new("physics").source("WRF").elem(ElemCond::eq_str("scheme", "thompson")))
+        .attr(AttrQuery::new("physics").source("WRF").elem(ElemCond::eq_num("level", 3.0)));
+    assert_eq!(cat.query(&q).unwrap(), vec![b]);
+}
+
+#[test]
+fn same_element_name_in_different_attributes_does_not_cross_match() {
+    let cat = cat();
+    cat.register_dynamic(
+        DETAILED_PATH,
+        &DynamicAttrSpec::new("radiation", "WRF").element("scheme", ValueType::Str),
+        DefLevel::Admin,
+    )
+    .unwrap();
+    let rad = "<detailed><enttyp><enttypl>radiation</enttypl><enttypds>WRF</enttypds></enttyp>\
+        <attr><attrlabl>scheme</attrlabl><attrdefs>WRF</attrdefs><attrv>rrtm</attrv></attr></detailed>";
+    let id = cat.ingest(&doc(rad)).unwrap();
+    // physics.scheme = rrtm must NOT match radiation.scheme = rrtm.
+    let q = ObjectQuery::new()
+        .attr(AttrQuery::new("physics").source("WRF").elem(ElemCond::eq_str("scheme", "rrtm")));
+    assert!(cat.query(&q).unwrap().is_empty());
+    let q2 = ObjectQuery::new()
+        .attr(AttrQuery::new("radiation").source("WRF").elem(ElemCond::eq_str("scheme", "rrtm")));
+    assert_eq!(cat.query(&q2).unwrap(), vec![id]);
+}
+
+#[test]
+fn direct_vs_descendant_linkage() {
+    let cat = cat();
+    cat.register_dynamic(
+        DETAILED_PATH,
+        &DynamicAttrSpec::new("nest", "T").sub(
+            DynamicAttrSpec::new("mid", "T")
+                .sub(DynamicAttrSpec::new("deep", "T").element("v", ValueType::Float)),
+        ),
+        DefLevel::Admin,
+    )
+    .unwrap();
+    let nested = "<detailed><enttyp><enttypl>nest</enttypl><enttypds>T</enttypds></enttyp>\
+        <attr><attrlabl>mid</attrlabl><attrdefs>T</attrdefs>\
+          <attr><attrlabl>deep</attrlabl><attrdefs>T</attrdefs>\
+            <attr><attrlabl>v</attrlabl><attrdefs>T</attrdefs><attrv>1</attrv></attr>\
+          </attr>\
+        </attr></detailed>";
+    let id = cat.ingest(&doc(nested)).unwrap();
+    // Descendant linkage (default): nest{deep} matches even though deep
+    // is two levels down.
+    let q_desc = ObjectQuery::new().attr(
+        AttrQuery::new("nest").source("T").sub(
+            AttrQuery::new("deep").source("T").elem(ElemCond::eq_num("v", 1.0)),
+        ),
+    );
+    assert_eq!(cat.query(&q_desc).unwrap(), vec![id]);
+    // Direct linkage: nest{deep} must NOT match (deep is not a direct child).
+    let q_direct = ObjectQuery::new().attr(
+        AttrQuery::new("nest").source("T").direct().sub(
+            AttrQuery::new("deep").source("T").elem(ElemCond::eq_num("v", 1.0)),
+        ),
+    );
+    assert!(cat.query(&q_direct).unwrap().is_empty());
+    // Direct linkage through the full chain matches.
+    let q_chain = ObjectQuery::new().attr(
+        AttrQuery::new("nest").source("T").direct().sub(
+            AttrQuery::new("mid").source("T").direct().sub(
+                AttrQuery::new("deep").source("T").elem(ElemCond::eq_num("v", 1.0)),
+            ),
+        ),
+    );
+    assert_eq!(cat.query(&q_chain).unwrap(), vec![id]);
+}
+
+#[test]
+fn sub_attribute_cannot_be_queried_as_top_level() {
+    let cat = cat();
+    cat.register_dynamic(
+        DETAILED_PATH,
+        &DynamicAttrSpec::new("outer", "T").sub(DynamicAttrSpec::new("inner", "T")),
+        DefLevel::Admin,
+    )
+    .unwrap();
+    let q = ObjectQuery::new().attr(AttrQuery::new("inner").source("T"));
+    assert!(matches!(cat.query(&q), Err(CatalogError::BadQuery(_))));
+}
+
+#[test]
+fn like_over_numeric_string_form() {
+    let cat = cat();
+    let id = cat.ingest(&doc(&physics("thompson", 1000.0))).unwrap();
+    // LIKE compares the stored string form.
+    let q = ObjectQuery::new()
+        .attr(AttrQuery::new("physics").source("WRF").elem(ElemCond::like("level", "10%")));
+    assert_eq!(cat.query(&q).unwrap(), vec![id]);
+}
+
+#[test]
+fn ne_semantics_is_exists_with_different_value() {
+    let cat = cat();
+    let a = cat.ingest(&doc(&physics("thompson", 1.0))).unwrap();
+    let _b = cat.ingest(&doc("")).unwrap(); // no physics at all
+    let q = ObjectQuery::new()
+        .attr(AttrQuery::new("physics").source("WRF").elem(ElemCond::str("scheme", QOp::Ne, "lin")));
+    // Only objects *having* the attribute with a different value match —
+    // absent attributes do not (standard predicate semantics).
+    assert_eq!(cat.query(&q).unwrap(), vec![a]);
+}
+
+#[test]
+fn empty_value_and_whitespace_values() {
+    let cat = cat();
+    let d = "<detailed><enttyp><enttypl>physics</enttypl><enttypds>WRF</enttypds></enttyp>\
+        <attr><attrlabl>scheme</attrlabl><attrdefs>WRF</attrdefs><attrv></attrv></attr></detailed>";
+    let id = cat.ingest(&doc(d)).unwrap();
+    let q = ObjectQuery::new()
+        .attr(AttrQuery::new("physics").source("WRF").elem(ElemCond::eq_str("scheme", "")));
+    assert_eq!(cat.query(&q).unwrap(), vec![id]);
+    let q2 = ObjectQuery::new()
+        .attr(AttrQuery::new("physics").source("WRF").elem(ElemCond::exists("scheme")));
+    assert_eq!(cat.query(&q2).unwrap(), vec![id]);
+}
+
+#[test]
+fn results_deduplicate_repeated_matches() {
+    let cat = cat();
+    // Three matching instances in ONE object: object id appears once.
+    let id = cat
+        .ingest(&doc(&format!(
+            "{}{}{}",
+            physics("thompson", 1.0),
+            physics("thompson", 2.0),
+            physics("thompson", 3.0)
+        )))
+        .unwrap();
+    let q = ObjectQuery::new()
+        .attr(AttrQuery::new("physics").source("WRF").elem(ElemCond::eq_str("scheme", "thompson")));
+    assert_eq!(cat.query(&q).unwrap(), vec![id]);
+}

@@ -1,0 +1,543 @@
+//! The database: a named-table catalog, CLOB heap, and plan executor.
+//!
+//! Concurrency model: the table map is guarded by one `RwLock`, and
+//! each table by its own `RwLock` (`parking_lot`, per the project's
+//! performance guidance). Readers executing plans take per-table read
+//! locks only while materializing scans, so concurrent queries scale
+//! and writers block only the tables they touch — this is what
+//! experiment E8 measures.
+
+use crate::clob::ClobStore;
+use crate::error::{DbError, Result};
+use crate::exec::{run_aggregate, run_hash_join, JoinKind, Plan, ResultSet};
+use crate::expr::Expr;
+use crate::table::{Row, Table, TableSchema};
+use crate::value::Value;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An embedded, in-memory relational database.
+#[derive(Default)]
+pub struct Database {
+    tables: RwLock<HashMap<String, Arc<RwLock<Table>>>>,
+    /// CLOB heap shared by all tables (locators are `CLOB` columns).
+    pub clobs: ClobStore,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Create a table; errors if the name is taken.
+    pub fn create_table(&self, name: impl Into<String>, schema: TableSchema) -> Result<()> {
+        let name = name.into();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&name) {
+            return Err(DbError::TableExists(name));
+        }
+        tables.insert(name.clone(), Arc::new(RwLock::new(Table::new(name, schema))));
+        Ok(())
+    }
+
+    /// Drop a table; errors if absent.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        self.tables
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    /// Handle to a table.
+    pub fn table(&self, name: &str) -> Result<Arc<RwLock<Table>>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    /// True when `name` exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.read().contains_key(name)
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Insert rows into a named table.
+    pub fn insert(&self, table: &str, rows: impl IntoIterator<Item = Row>) -> Result<usize> {
+        let t = self.table(table)?;
+        let mut guard = t.write();
+        guard.insert_many(rows)
+    }
+
+    /// Create an index on a named table.
+    pub fn create_index(&self, table: &str, index: &str, columns: &[&str], unique: bool) -> Result<()> {
+        let t = self.table(table)?;
+        let mut guard = t.write();
+        let cols: Vec<usize> = columns
+            .iter()
+            .map(|c| guard.schema.col(c))
+            .collect::<Result<_>>()?;
+        guard.create_index(index, cols, unique)
+    }
+
+    /// Number of live rows in a table.
+    pub fn row_count(&self, table: &str) -> Result<usize> {
+        Ok(self.table(table)?.read().len())
+    }
+
+    /// Rough byte footprint of all tables plus the CLOB heap.
+    pub fn approx_bytes(&self) -> usize {
+        let tables = self.tables.read();
+        let rows: usize = tables.values().map(|t| t.read().approx_bytes()).sum();
+        rows + self.clobs.total_bytes()
+    }
+
+    /// Execute a physical plan to a materialized result.
+    pub fn execute(&self, plan: &Plan) -> Result<ResultSet> {
+        match plan {
+            Plan::Scan { table, filter } => {
+                let t = self.table(table)?;
+                let guard = t.read();
+                let columns: Vec<String> = guard.schema.columns.iter().map(|c| c.name.clone()).collect();
+                let mut rows = Vec::with_capacity(guard.len());
+                match filter {
+                    None => {
+                        for (_, r) in guard.scan() {
+                            rows.push(r.clone());
+                        }
+                    }
+                    Some(pred) => {
+                        // Route through the index whose key has the
+                        // longest prefix of the predicate's `col = lit`
+                        // conjuncts; the full predicate is re-applied to
+                        // the narrowed row set, so partial coverage (and
+                        // residual range/LIKE terms) stay correct.
+                        let pairs = pred.eq_conjunct_terms();
+                        let mut best: Option<(&crate::table::Index, usize)> = None;
+                        if !pairs.is_empty() {
+                            for idx in guard.indexes() {
+                                let mut p = 0;
+                                for &c in &idx.columns {
+                                    if pairs.iter().any(|(pc, _)| *pc == c) {
+                                        p += 1;
+                                    } else {
+                                        break;
+                                    }
+                                }
+                                if p > 0 && best.map(|(_, bp)| p > bp).unwrap_or(true) {
+                                    best = Some((idx, p));
+                                }
+                            }
+                        }
+                        if let Some((idx, p)) = best {
+                            let key: Vec<Value> = idx.columns[..p]
+                                .iter()
+                                .map(|c| {
+                                    pairs
+                                        .iter()
+                                        .find(|(pc, _)| pc == c)
+                                        .map(|(_, v)| v.clone())
+                                        .expect("prefix columns come from pairs")
+                                })
+                                .collect();
+                            let rids = if p == idx.columns.len() {
+                                idx.get(&key).to_vec()
+                            } else {
+                                idx.prefix(&key)
+                            };
+                            for rid in rids {
+                                if let Some(r) = guard.get(rid) {
+                                    if pred.matches(r)? {
+                                        rows.push(r.clone());
+                                    }
+                                }
+                            }
+                            return Ok(ResultSet { columns, rows });
+                        }
+                        for (_, r) in guard.scan() {
+                            if pred.matches(r)? {
+                                rows.push(r.clone());
+                            }
+                        }
+                    }
+                }
+                Ok(ResultSet { columns, rows })
+            }
+            Plan::IndexLookup { table, index, key, filter } => {
+                let t = self.table(table)?;
+                let guard = t.read();
+                let columns: Vec<String> = guard.schema.columns.iter().map(|c| c.name.clone()).collect();
+                let idx = guard.index(index)?;
+                let rids: Vec<usize> = if key.len() < idx.columns.len() {
+                    idx.prefix(key)
+                } else {
+                    idx.get(key).to_vec()
+                };
+                let mut rows = Vec::with_capacity(rids.len());
+                for rid in rids {
+                    if let Some(r) = guard.get(rid) {
+                        if match filter {
+                            Some(p) => p.matches(r)?,
+                            None => true,
+                        } {
+                            rows.push(r.clone());
+                        }
+                    }
+                }
+                Ok(ResultSet { columns, rows })
+            }
+            Plan::IndexRange { table, index, lo, hi, filter } => {
+                let t = self.table(table)?;
+                let guard = t.read();
+                let columns: Vec<String> = guard.schema.columns.iter().map(|c| c.name.clone()).collect();
+                let idx = guard.index(index)?;
+                let rids = idx.range(lo.as_deref(), hi.as_deref());
+                let mut rows = Vec::with_capacity(rids.len());
+                for rid in rids {
+                    if let Some(r) = guard.get(rid) {
+                        if match filter {
+                            Some(p) => p.matches(r)?,
+                            None => true,
+                        } {
+                            rows.push(r.clone());
+                        }
+                    }
+                }
+                Ok(ResultSet { columns, rows })
+            }
+            Plan::Values { columns, rows } => {
+                Ok(ResultSet { columns: columns.clone(), rows: rows.clone() })
+            }
+            Plan::Filter { input, pred } => {
+                let mut rs = self.execute(input)?;
+                let mut kept = Vec::with_capacity(rs.rows.len());
+                for r in rs.rows.drain(..) {
+                    if pred.matches(&r)? {
+                        kept.push(r);
+                    }
+                }
+                rs.rows = kept;
+                Ok(rs)
+            }
+            Plan::Project { input, exprs } => {
+                let rs = self.execute(input)?;
+                let columns: Vec<String> = exprs.iter().map(|(_, n)| n.clone()).collect();
+                let mut rows = Vec::with_capacity(rs.rows.len());
+                for r in &rs.rows {
+                    let mut out = Vec::with_capacity(exprs.len());
+                    for (e, _) in exprs {
+                        out.push(e.eval(r)?);
+                    }
+                    rows.push(out);
+                }
+                Ok(ResultSet { columns, rows })
+            }
+            Plan::HashJoin { left, right, left_keys, right_keys, kind } => {
+                let l = self.execute(left)?;
+                let r = self.execute(right)?;
+                run_hash_join(l, r, left_keys, right_keys, *kind)
+            }
+            Plan::NestedLoopJoin { left, right, pred, kind } => {
+                let l = self.execute(left)?;
+                let r = self.execute(right)?;
+                let mut columns = l.columns.clone();
+                columns.extend(r.columns.iter().cloned());
+                let right_arity = r.columns.len();
+                let mut rows = Vec::new();
+                for lrow in &l.rows {
+                    let mut matched = false;
+                    for rrow in &r.rows {
+                        let mut cand = lrow.clone();
+                        cand.extend(rrow.iter().cloned());
+                        let ok = match pred {
+                            Some(p) => p.matches(&cand)?,
+                            None => true,
+                        };
+                        if ok {
+                            matched = true;
+                            rows.push(cand);
+                        }
+                    }
+                    if !matched && *kind == JoinKind::Left {
+                        let mut out = lrow.clone();
+                        out.extend(std::iter::repeat_n(Value::Null, right_arity));
+                        rows.push(out);
+                    }
+                }
+                Ok(ResultSet { columns, rows })
+            }
+            Plan::Aggregate { input, group_by, aggs } => {
+                let rs = self.execute(input)?;
+                run_aggregate(rs, group_by, aggs)
+            }
+            Plan::Sort { input, keys } => {
+                let mut rs = self.execute(input)?;
+                rs.rows.sort_by(|a, b| {
+                    for &(col, desc) in keys {
+                        let ord = a[col].total_cmp(&b[col]);
+                        let ord = if desc { ord.reverse() } else { ord };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                Ok(rs)
+            }
+            Plan::Distinct { input } => {
+                let mut rs = self.execute(input)?;
+                let mut seen = std::collections::HashSet::new();
+                rs.rows.retain(|r| seen.insert(r.clone()));
+                Ok(rs)
+            }
+            Plan::Limit { input, n } => {
+                let mut rs = self.execute(input)?;
+                rs.rows.truncate(*n);
+                Ok(rs)
+            }
+        }
+    }
+
+    /// Delete rows matching `pred` from a table; returns the count.
+    pub fn delete_where(&self, table: &str, pred: &Expr) -> Result<usize> {
+        let t = self.table(table)?;
+        let mut guard = t.write();
+        let mut err = None;
+        let n = guard.delete_where(|r| match pred.matches(r) {
+            Ok(b) => b,
+            Err(e) => {
+                err = Some(e);
+                false
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Column;
+    use crate::value::DataType;
+
+    fn db() -> Database {
+        let db = Database::new();
+        db.create_table(
+            "emp",
+            TableSchema::new(vec![
+                Column::new("id", DataType::Int),
+                Column::new("dept", DataType::Text),
+                Column::new("salary", DataType::Int),
+            ]),
+        )
+        .unwrap();
+        db.create_table(
+            "dept",
+            TableSchema::new(vec![
+                Column::new("name", DataType::Text),
+                Column::new("building", DataType::Text),
+            ]),
+        )
+        .unwrap();
+        db.insert(
+            "emp",
+            vec![
+                vec![1.into(), "eng".into(), 100.into()],
+                vec![2.into(), "eng".into(), 120.into()],
+                vec![3.into(), "ops".into(), 90.into()],
+                vec![4.into(), "hr".into(), 80.into()],
+            ],
+        )
+        .unwrap();
+        db.insert(
+            "dept",
+            vec![
+                vec!["eng".into(), "B1".into()],
+                vec!["ops".into(), "B2".into()],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn scan_with_filter() {
+        let db = db();
+        let rs = db
+            .execute(&Plan::Scan { table: "emp".into(), filter: Some(Expr::col_eq(1, "eng")) })
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn scan_uses_covering_index() {
+        let db = db();
+        db.create_index("emp", "by_dept", &["dept"], false).unwrap();
+        let rs = db
+            .execute(&Plan::Scan { table: "emp".into(), filter: Some(Expr::col_eq(1, "eng")) })
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn index_lookup_and_range() {
+        let db = db();
+        db.create_index("emp", "by_salary", &["salary"], false).unwrap();
+        let rs = db
+            .execute(&Plan::IndexLookup {
+                table: "emp".into(),
+                index: "by_salary".into(),
+                key: vec![100.into()],
+                filter: None,
+            })
+            .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        let rng = db
+            .execute(&Plan::IndexRange {
+                table: "emp".into(),
+                index: "by_salary".into(),
+                lo: Some(vec![90.into()]),
+                hi: Some(vec![110.into()]),
+                filter: None,
+            })
+            .unwrap();
+        assert_eq!(rng.rows.len(), 2);
+    }
+
+    #[test]
+    fn join_project_aggregate_pipeline() {
+        let db = db();
+        // SELECT dept.building, COUNT(*), SUM(salary) FROM emp JOIN dept
+        // ON emp.dept = dept.name GROUP BY building
+        let plan = Plan::Scan { table: "emp".into(), filter: None }
+            .hash_join(Plan::Scan { table: "dept".into(), filter: None }, vec![1], vec![0])
+            .aggregate(
+                vec![4],
+                vec![
+                    crate::exec::AggCall::count_star("n"),
+                    crate::exec::AggCall::of(crate::exec::AggFunc::Sum, Expr::col(2), "total"),
+                ],
+            );
+        let rs = db.execute(&plan).unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        let b1 = rs.rows.iter().find(|r| r[0] == Value::Str("B1".into())).unwrap();
+        assert_eq!(b1[1], Value::Int(2));
+        assert_eq!(b1[2], Value::Int(220));
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let db = db();
+        let plan = Plan::HashJoin {
+            left: Box::new(Plan::Scan { table: "emp".into(), filter: None }),
+            right: Box::new(Plan::Scan { table: "dept".into(), filter: None }),
+            left_keys: vec![1],
+            right_keys: vec![0],
+            kind: JoinKind::Left,
+        };
+        let rs = db.execute(&plan).unwrap();
+        assert_eq!(rs.rows.len(), 4);
+        let hr = rs.rows.iter().find(|r| r[1] == Value::Str("hr".into())).unwrap();
+        assert!(hr[3].is_null());
+    }
+
+    #[test]
+    fn sort_distinct_limit() {
+        let db = db();
+        let plan = Plan::Sort {
+            input: Box::new(
+                Plan::Scan { table: "emp".into(), filter: None }
+                    .project(vec![(Expr::col(1), "dept".into())]),
+            ),
+            keys: vec![(0, false)],
+        };
+        let rs = db.execute(&Plan::Distinct { input: Box::new(plan) }).unwrap();
+        assert_eq!(rs.rows.len(), 3);
+        assert_eq!(rs.rows[0][0], Value::Str("eng".into()));
+        let limited = db
+            .execute(&Plan::Limit {
+                input: Box::new(Plan::Scan { table: "emp".into(), filter: None }),
+                n: 2,
+            })
+            .unwrap();
+        assert_eq!(limited.rows.len(), 2);
+    }
+
+    #[test]
+    fn nested_loop_non_equi() {
+        let db = db();
+        // Pairs of employees where left salary < right salary.
+        let plan = Plan::NestedLoopJoin {
+            left: Box::new(Plan::Scan { table: "emp".into(), filter: None }),
+            right: Box::new(Plan::Scan { table: "emp".into(), filter: None }),
+            pred: Some(Expr::Cmp(
+                crate::expr::CmpOp::Lt,
+                Box::new(Expr::col(2)),
+                Box::new(Expr::col(5)),
+            )),
+            kind: JoinKind::Inner,
+        };
+        let rs = db.execute(&plan).unwrap();
+        assert_eq!(rs.rows.len(), 6);
+    }
+
+    #[test]
+    fn delete_where_and_drop() {
+        let db = db();
+        let n = db.delete_where("emp", &Expr::col_eq(1, "eng")).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(db.row_count("emp").unwrap(), 2);
+        db.drop_table("emp").unwrap();
+        assert!(db.execute(&Plan::Scan { table: "emp".into(), filter: None }).is_err());
+    }
+
+    #[test]
+    fn values_plan() {
+        let db = Database::new();
+        let rs = db
+            .execute(&Plan::Values {
+                columns: vec!["a".into()],
+                rows: vec![vec![1.into()], vec![2.into()]],
+            })
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let db = std::sync::Arc::new(db());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let db = db.clone();
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        let rs = db
+                            .execute(&Plan::Scan { table: "emp".into(), filter: None })
+                            .unwrap();
+                        assert!(rs.rows.len() >= 4);
+                    }
+                });
+            }
+            let dbw = db.clone();
+            s.spawn(move || {
+                for i in 0..100 {
+                    dbw.insert("emp", vec![vec![(100 + i).into(), "new".into(), 1.into()]]).unwrap();
+                }
+            });
+        });
+        assert_eq!(db.row_count("emp").unwrap(), 104);
+    }
+}

@@ -1,0 +1,47 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Error raised by the storage engine, planner, or SQL layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// Named table does not exist.
+    NoSuchTable(String),
+    /// Named table already exists.
+    TableExists(String),
+    /// Named column does not exist in a table or projection.
+    NoSuchColumn(String),
+    /// Named index does not exist.
+    NoSuchIndex(String),
+    /// Row shape or value type does not match the table schema.
+    SchemaMismatch(String),
+    /// A uniqueness constraint was violated.
+    Duplicate(String),
+    /// SQL text failed to parse.
+    Parse(String),
+    /// A plan or expression was invalid (bad column index, bad agg, ...).
+    Plan(String),
+    /// CLOB locator does not resolve.
+    NoSuchClob(u64),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            DbError::TableExists(t) => write!(f, "table already exists: {t}"),
+            DbError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            DbError::NoSuchIndex(i) => write!(f, "no such index: {i}"),
+            DbError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            DbError::Duplicate(m) => write!(f, "duplicate key: {m}"),
+            DbError::Parse(m) => write!(f, "SQL parse error: {m}"),
+            DbError::Plan(m) => write!(f, "plan error: {m}"),
+            DbError::NoSuchClob(id) => write!(f, "no such CLOB: {id}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, DbError>;

@@ -1,0 +1,165 @@
+//! Plan rendering (`EXPLAIN`-style).
+//!
+//! Renders a [`Plan`] as an indented operator tree — used by tests to
+//! pin plan shapes (e.g. "the hybrid's nested query adds exactly one
+//! hash join per level") and by the examples for visibility into what
+//! the catalog actually executes.
+
+use crate::exec::{AggFunc, Plan};
+use crate::expr::{ArithOp, CmpOp, Expr};
+
+/// Render `plan` as an indented tree.
+pub fn explain(plan: &Plan) -> String {
+    let mut out = String::new();
+    walk(plan, 0, &mut out);
+    out
+}
+
+fn pad(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn walk(plan: &Plan, depth: usize, out: &mut String) {
+    pad(depth, out);
+    match plan {
+        Plan::Scan { table, filter } => {
+            match filter {
+                Some(f) => out.push_str(&format!("Scan {table} filter={}\n", expr_str(f))),
+                None => out.push_str(&format!("Scan {table}\n")),
+            };
+        }
+        Plan::IndexLookup { table, index, key, .. } => {
+            out.push_str(&format!("IndexLookup {table}.{index} key={key:?}\n"));
+        }
+        Plan::IndexRange { table, index, .. } => {
+            out.push_str(&format!("IndexRange {table}.{index}\n"));
+        }
+        Plan::Values { columns, rows } => {
+            out.push_str(&format!("Values [{}] x{}\n", columns.join(", "), rows.len()));
+        }
+        Plan::Filter { input, pred } => {
+            out.push_str(&format!("Filter {}\n", expr_str(pred)));
+            walk(input, depth + 1, out);
+        }
+        Plan::Project { input, exprs } => {
+            let cols: Vec<String> = exprs.iter().map(|(e, n)| format!("{n}={}", expr_str(e))).collect();
+            out.push_str(&format!("Project [{}]\n", cols.join(", ")));
+            walk(input, depth + 1, out);
+        }
+        Plan::HashJoin { left, right, left_keys, right_keys, kind } => {
+            out.push_str(&format!("HashJoin {kind:?} on {left_keys:?}={right_keys:?}\n"));
+            walk(left, depth + 1, out);
+            walk(right, depth + 1, out);
+        }
+        Plan::NestedLoopJoin { left, right, pred, kind } => {
+            let p = pred.as_ref().map(expr_str).unwrap_or_else(|| "true".into());
+            out.push_str(&format!("NestedLoopJoin {kind:?} on {p}\n"));
+            walk(left, depth + 1, out);
+            walk(right, depth + 1, out);
+        }
+        Plan::Aggregate { input, group_by, aggs } => {
+            let fns: Vec<String> = aggs
+                .iter()
+                .map(|a| {
+                    let f = match a.func {
+                        AggFunc::Count => "count",
+                        AggFunc::Sum => "sum",
+                        AggFunc::Min => "min",
+                        AggFunc::Max => "max",
+                        AggFunc::Avg => "avg",
+                    };
+                    format!("{}({})", f, a.arg.as_ref().map(expr_str).unwrap_or_else(|| "*".into()))
+                })
+                .collect();
+            out.push_str(&format!("Aggregate group_by={group_by:?} [{}]\n", fns.join(", ")));
+            walk(input, depth + 1, out);
+        }
+        Plan::Sort { input, keys } => {
+            out.push_str(&format!("Sort {keys:?}\n"));
+            walk(input, depth + 1, out);
+        }
+        Plan::Distinct { input } => {
+            out.push_str("Distinct\n");
+            walk(input, depth + 1, out);
+        }
+        Plan::Limit { input, n } => {
+            out.push_str(&format!("Limit {n}\n"));
+            walk(input, depth + 1, out);
+        }
+    }
+}
+
+/// Compact one-line rendering of an expression.
+pub fn expr_str(e: &Expr) -> String {
+    match e {
+        Expr::Col(i) => format!("#{i}"),
+        Expr::Lit(v) => format!("{v:?}"),
+        Expr::Cmp(op, a, b) => {
+            let o = match op {
+                CmpOp::Eq => "=",
+                CmpOp::Ne => "<>",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+            };
+            format!("({} {o} {})", expr_str(a), expr_str(b))
+        }
+        Expr::And(a, b) => format!("({} AND {})", expr_str(a), expr_str(b)),
+        Expr::Or(a, b) => format!("({} OR {})", expr_str(a), expr_str(b)),
+        Expr::Not(a) => format!("NOT {}", expr_str(a)),
+        Expr::Arith(op, a, b) => {
+            let o = match op {
+                ArithOp::Add => "+",
+                ArithOp::Sub => "-",
+                ArithOp::Mul => "*",
+                ArithOp::Div => "/",
+                ArithOp::Mod => "%",
+            };
+            format!("({} {o} {})", expr_str(a), expr_str(b))
+        }
+        Expr::Like(a, p) => format!("({} LIKE {p:?})", expr_str(a)),
+        Expr::IsNull(a) => format!("({} IS NULL)", expr_str(a)),
+        Expr::Between(x, lo, hi) => {
+            format!("({} BETWEEN {} AND {})", expr_str(x), expr_str(lo), expr_str(hi))
+        }
+        Expr::InList(x, list) => format!("({} IN {list:?})", expr_str(x)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::AggCall;
+
+    #[test]
+    fn renders_tree() {
+        let plan = Plan::Scan { table: "t".into(), filter: Some(Expr::col_eq(0, 1)) }
+            .hash_join(Plan::Scan { table: "u".into(), filter: None }, vec![0], vec![1])
+            .aggregate(vec![0], vec![AggCall::count_star("n")])
+            .project(vec![(Expr::col(1), "n".into())]);
+        let text = explain(&plan);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("Project"));
+        assert!(lines[1].trim_start().starts_with("Aggregate"));
+        assert!(lines[2].trim_start().starts_with("HashJoin"));
+        assert!(lines[3].trim_start().starts_with("Scan t filter=(#0 = Int(1))"));
+        assert!(lines[4].trim_start().starts_with("Scan u"));
+        // Indentation increases with depth.
+        assert!(lines[3].starts_with("      "));
+    }
+
+    #[test]
+    fn expr_rendering() {
+        let e = Expr::and(
+            Expr::col_eq(0, "x"),
+            Expr::Between(Box::new(Expr::col(1)), Box::new(Expr::lit(1)), Box::new(Expr::lit(2))),
+        );
+        assert_eq!(
+            expr_str(&e),
+            "((#0 = Str(\"x\")) AND (#1 BETWEEN Int(1) AND Int(2)))"
+        );
+    }
+}

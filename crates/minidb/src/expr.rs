@@ -1,0 +1,402 @@
+//! Scalar expression AST and evaluator.
+//!
+//! Expressions reference row positions (`Col(i)`), so the planner binds
+//! names to positions once and evaluation on the hot path is
+//! allocation-free except for string-producing operators.
+
+use crate::error::{DbError, Result};
+use crate::table::Row;
+use crate::value::Value;
+use std::cmp::Ordering;
+
+/// Comparison operators (SQL three-valued semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Does `ord` satisfy the operator?
+    pub fn holds(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+/// A scalar expression over one row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Value of column `i` of the input row.
+    Col(usize),
+    /// A literal.
+    Lit(Value),
+    /// Comparison with SQL NULL semantics (`NULL op x` is NULL→false).
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Logical AND (short-circuits).
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR (short-circuits).
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical NOT.
+    Not(Box<Expr>),
+    /// Arithmetic; NULL-propagating; integer ops stay integer unless a
+    /// float participates.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// SQL `LIKE` with `%` and `_` wildcards.
+    Like(Box<Expr>, String),
+    /// `IS NULL`.
+    IsNull(Box<Expr>),
+    /// `x BETWEEN lo AND hi` (inclusive).
+    Between(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `x IN (v1, v2, ...)`.
+    InList(Box<Expr>, Vec<Value>),
+}
+
+impl Expr {
+    /// Shorthand: column reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// Shorthand: literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// Shorthand: `col(i) = value`.
+    pub fn col_eq(i: usize, v: impl Into<Value>) -> Expr {
+        Expr::Cmp(CmpOp::Eq, Box::new(Expr::Col(i)), Box::new(Expr::Lit(v.into())))
+    }
+
+    /// Shorthand: `a AND b`.
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::And(Box::new(a), Box::new(b))
+    }
+
+    /// Fold a list of conjuncts into one expression (`true` if empty).
+    pub fn all(conjuncts: impl IntoIterator<Item = Expr>) -> Expr {
+        let mut it = conjuncts.into_iter();
+        match it.next() {
+            None => Expr::Lit(Value::Bool(true)),
+            Some(first) => it.fold(first, Expr::and),
+        }
+    }
+
+    /// Evaluate against `row`.
+    pub fn eval(&self, row: &Row) -> Result<Value> {
+        match self {
+            Expr::Col(i) => row
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| DbError::Plan(format!("column #{i} out of range (row arity {})", row.len()))),
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Cmp(op, a, b) => {
+                let va = a.eval(row)?;
+                let vb = b.eval(row)?;
+                Ok(match va.sql_cmp(&vb) {
+                    None => Value::Null,
+                    Some(ord) => Value::Bool(op.holds(ord)),
+                })
+            }
+            Expr::And(a, b) => {
+                if !a.eval(row)?.truthy() {
+                    return Ok(Value::Bool(false));
+                }
+                Ok(Value::Bool(b.eval(row)?.truthy()))
+            }
+            Expr::Or(a, b) => {
+                if a.eval(row)?.truthy() {
+                    return Ok(Value::Bool(true));
+                }
+                Ok(Value::Bool(b.eval(row)?.truthy()))
+            }
+            Expr::Not(a) => Ok(Value::Bool(!a.eval(row)?.truthy())),
+            Expr::Arith(op, a, b) => {
+                let va = a.eval(row)?;
+                let vb = b.eval(row)?;
+                if va.is_null() || vb.is_null() {
+                    return Ok(Value::Null);
+                }
+                arith(*op, &va, &vb)
+            }
+            Expr::Like(a, pattern) => {
+                let v = a.eval(row)?;
+                match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Str(s) => Ok(Value::Bool(like_match(&s, pattern))),
+                    other => Ok(Value::Bool(like_match(&other.to_string(), pattern))),
+                }
+            }
+            Expr::IsNull(a) => Ok(Value::Bool(a.eval(row)?.is_null())),
+            Expr::Between(x, lo, hi) => {
+                let vx = x.eval(row)?;
+                let vlo = lo.eval(row)?;
+                let vhi = hi.eval(row)?;
+                match (vx.sql_cmp(&vlo), vx.sql_cmp(&vhi)) {
+                    (Some(a), Some(b)) => Ok(Value::Bool(a != Ordering::Less && b != Ordering::Greater)),
+                    _ => Ok(Value::Null),
+                }
+            }
+            Expr::InList(x, list) => {
+                let vx = x.eval(row)?;
+                if vx.is_null() {
+                    return Ok(Value::Null);
+                }
+                Ok(Value::Bool(list.iter().any(|v| vx.sql_cmp(v) == Some(Ordering::Equal))))
+            }
+        }
+    }
+
+    /// Evaluate as a WHERE predicate (NULL → false).
+    pub fn matches(&self, row: &Row) -> Result<bool> {
+        Ok(self.eval(row)?.truthy())
+    }
+
+    /// Collect every `col = literal` term reachable through top-level
+    /// conjunctions, tolerating other conjuncts (they stay as residual
+    /// filter work). Used for partial index routing.
+    pub fn eq_conjunct_terms(&self) -> Vec<(usize, Value)> {
+        fn walk(e: &Expr, out: &mut Vec<(usize, Value)>) {
+            match e {
+                Expr::Cmp(CmpOp::Eq, a, b) => match (a.as_ref(), b.as_ref()) {
+                    (Expr::Col(i), Expr::Lit(v)) | (Expr::Lit(v), Expr::Col(i)) => {
+                        out.push((*i, v.clone()));
+                    }
+                    _ => {}
+                },
+                Expr::And(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                _ => {}
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
+    /// If this predicate is a conjunction of `col = literal` terms,
+    /// return the `(column, value)` pairs — the planner uses this to
+    /// route point lookups through an index.
+    pub fn as_eq_conjuncts(&self) -> Option<Vec<(usize, Value)>> {
+        fn walk(e: &Expr, out: &mut Vec<(usize, Value)>) -> bool {
+            match e {
+                Expr::Cmp(CmpOp::Eq, a, b) => match (a.as_ref(), b.as_ref()) {
+                    (Expr::Col(i), Expr::Lit(v)) | (Expr::Lit(v), Expr::Col(i)) => {
+                        out.push((*i, v.clone()));
+                        true
+                    }
+                    _ => false,
+                },
+                Expr::And(a, b) => walk(a, out) && walk(b, out),
+                _ => false,
+            }
+        }
+        let mut out = Vec::new();
+        if walk(self, &mut out) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+}
+
+fn arith(op: ArithOp, a: &Value, b: &Value) -> Result<Value> {
+    use Value::*;
+    // String concatenation via Add.
+    if let (ArithOp::Add, Str(x), Str(y)) = (op, a, b) {
+        let mut s = String::with_capacity(x.len() + y.len());
+        s.push_str(x);
+        s.push_str(y);
+        return Ok(Str(s));
+    }
+    match (a, b) {
+        (Int(x), Int(y)) => Ok(match op {
+            ArithOp::Add => Int(x.wrapping_add(*y)),
+            ArithOp::Sub => Int(x.wrapping_sub(*y)),
+            ArithOp::Mul => Int(x.wrapping_mul(*y)),
+            ArithOp::Div => {
+                if *y == 0 {
+                    Null
+                } else {
+                    Int(x / y)
+                }
+            }
+            ArithOp::Mod => {
+                if *y == 0 {
+                    Null
+                } else {
+                    Int(x % y)
+                }
+            }
+        }),
+        _ => {
+            let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) else {
+                return Err(DbError::Plan(format!("cannot apply arithmetic to {a:?} and {b:?}")));
+            };
+            Ok(match op {
+                ArithOp::Add => Float(x + y),
+                ArithOp::Sub => Float(x - y),
+                ArithOp::Mul => Float(x * y),
+                ArithOp::Div => {
+                    if y == 0.0 {
+                        Null
+                    } else {
+                        Float(x / y)
+                    }
+                }
+                ArithOp::Mod => {
+                    if y == 0.0 {
+                        Null
+                    } else {
+                        Float(x % y)
+                    }
+                }
+            })
+        }
+    }
+}
+
+/// SQL LIKE matcher: `%` any run, `_` any single char; case-sensitive.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[u8], p: &[u8]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some(b'%') => {
+                // Collapse consecutive %.
+                let p = &p[1..];
+                if p.is_empty() {
+                    return true;
+                }
+                (0..=s.len()).any(|i| rec(&s[i..], p))
+            }
+            Some(b'_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(&c) => s.first() == Some(&c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    rec(s.as_bytes(), pattern.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Row {
+        vec![Value::Int(10), Value::Str("hello".into()), Value::Null, Value::Float(2.5)]
+    }
+
+    #[test]
+    fn col_and_lit() {
+        assert_eq!(Expr::col(0).eval(&row()).unwrap(), Value::Int(10));
+        assert_eq!(Expr::lit(7).eval(&row()).unwrap(), Value::Int(7));
+        assert!(Expr::col(9).eval(&row()).is_err());
+    }
+
+    #[test]
+    fn comparisons_three_valued() {
+        let e = Expr::Cmp(CmpOp::Gt, Box::new(Expr::col(0)), Box::new(Expr::lit(5)));
+        assert_eq!(e.eval(&row()).unwrap(), Value::Bool(true));
+        let n = Expr::Cmp(CmpOp::Eq, Box::new(Expr::col(2)), Box::new(Expr::lit(5)));
+        assert_eq!(n.eval(&row()).unwrap(), Value::Null);
+        assert!(!n.matches(&row()).unwrap());
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let t = Expr::lit(true);
+        let f = Expr::lit(false);
+        assert!(Expr::and(t.clone(), t.clone()).matches(&row()).unwrap());
+        assert!(!Expr::and(t.clone(), f.clone()).matches(&row()).unwrap());
+        assert!(Expr::Or(Box::new(f.clone()), Box::new(t.clone())).matches(&row()).unwrap());
+        assert!(Expr::Not(Box::new(f)).matches(&row()).unwrap());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let add = Expr::Arith(ArithOp::Add, Box::new(Expr::col(0)), Box::new(Expr::lit(5)));
+        assert_eq!(add.eval(&row()).unwrap(), Value::Int(15));
+        let fdiv = Expr::Arith(ArithOp::Div, Box::new(Expr::col(3)), Box::new(Expr::lit(0.5)));
+        assert_eq!(fdiv.eval(&row()).unwrap(), Value::Float(5.0));
+        let div0 = Expr::Arith(ArithOp::Div, Box::new(Expr::lit(1)), Box::new(Expr::lit(0)));
+        assert_eq!(div0.eval(&row()).unwrap(), Value::Null);
+        let nullprop = Expr::Arith(ArithOp::Add, Box::new(Expr::col(2)), Box::new(Expr::lit(1)));
+        assert_eq!(nullprop.eval(&row()).unwrap(), Value::Null);
+        let concat = Expr::Arith(ArithOp::Add, Box::new(Expr::lit("a")), Box::new(Expr::lit("b")));
+        assert_eq!(concat.eval(&row()).unwrap(), Value::Str("ab".into()));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%llo"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(!like_match("hello", "h_lo"));
+        assert!(like_match("hello", "%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("a%b", "a%b"));
+        assert!(like_match("abc", "%%c"));
+    }
+
+    #[test]
+    fn is_null_between_in() {
+        assert!(Expr::IsNull(Box::new(Expr::col(2))).matches(&row()).unwrap());
+        assert!(!Expr::IsNull(Box::new(Expr::col(0))).matches(&row()).unwrap());
+        let between = Expr::Between(Box::new(Expr::col(0)), Box::new(Expr::lit(5)), Box::new(Expr::lit(15)));
+        assert!(between.matches(&row()).unwrap());
+        let inlist = Expr::InList(Box::new(Expr::col(0)), vec![1.into(), 10.into()]);
+        assert!(inlist.matches(&row()).unwrap());
+        let in_null = Expr::InList(Box::new(Expr::col(2)), vec![1.into()]);
+        assert_eq!(in_null.eval(&row()).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn eq_conjunct_extraction() {
+        let e = Expr::and(Expr::col_eq(0, 10), Expr::col_eq(1, "hello"));
+        let pairs = e.as_eq_conjuncts().unwrap();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0], (0, Value::Int(10)));
+        let non = Expr::Cmp(CmpOp::Gt, Box::new(Expr::col(0)), Box::new(Expr::lit(5)));
+        assert!(non.as_eq_conjuncts().is_none());
+    }
+
+    #[test]
+    fn all_folds_conjuncts() {
+        let e = Expr::all(vec![Expr::col_eq(0, 10), Expr::col_eq(1, "hello")]);
+        assert!(e.matches(&row()).unwrap());
+        let empty = Expr::all(std::iter::empty());
+        assert!(empty.matches(&row()).unwrap());
+    }
+}

@@ -1,0 +1,382 @@
+//! Database snapshots: save/load the whole store to a file.
+//!
+//! The engine is in-memory; a grid catalog still needs to survive
+//! restarts, so the database serializes to a compact binary snapshot
+//! (tables with schemas and live rows, indexes as definitions that are
+//! rebuilt on load, and the CLOB heap). The format is versioned and
+//! length-prefixed throughout; loads validate every tag and bound.
+
+use crate::clob::ClobStore;
+use crate::db::Database;
+use crate::error::{DbError, Result};
+use crate::table::{Column, TableSchema};
+use crate::value::{DataType, Value};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"MDB1";
+
+/// Writer half of the snapshot codec.
+struct Enc<W: Write> {
+    w: W,
+}
+
+impl<W: Write> Enc<W> {
+    fn u8(&mut self, v: u8) -> Result<()> {
+        self.w.write_all(&[v]).map_err(io_err)
+    }
+    fn u32(&mut self, v: u32) -> Result<()> {
+        self.w.write_all(&v.to_le_bytes()).map_err(io_err)
+    }
+    fn u64(&mut self, v: u64) -> Result<()> {
+        self.w.write_all(&v.to_le_bytes()).map_err(io_err)
+    }
+    fn i64(&mut self, v: i64) -> Result<()> {
+        self.w.write_all(&v.to_le_bytes()).map_err(io_err)
+    }
+    fn f64(&mut self, v: f64) -> Result<()> {
+        self.w.write_all(&v.to_le_bytes()).map_err(io_err)
+    }
+    fn bytes(&mut self, b: &[u8]) -> Result<()> {
+        self.u64(b.len() as u64)?;
+        self.w.write_all(b).map_err(io_err)
+    }
+    fn string(&mut self, s: &str) -> Result<()> {
+        self.bytes(s.as_bytes())
+    }
+    fn value(&mut self, v: &Value) -> Result<()> {
+        match v {
+            Value::Null => self.u8(0),
+            Value::Bool(b) => {
+                self.u8(1)?;
+                self.u8(*b as u8)
+            }
+            Value::Int(i) => {
+                self.u8(2)?;
+                self.i64(*i)
+            }
+            Value::Float(f) => {
+                self.u8(3)?;
+                self.f64(*f)
+            }
+            Value::Str(s) => {
+                self.u8(4)?;
+                self.string(s)
+            }
+        }
+    }
+}
+
+/// Reader half of the snapshot codec.
+struct Dec<R: Read> {
+    r: R,
+}
+
+impl<R: Read> Dec<R> {
+    fn u8(&mut self) -> Result<u8> {
+        let mut b = [0u8; 1];
+        self.r.read_exact(&mut b).map_err(io_err)?;
+        Ok(b[0])
+    }
+    fn u32(&mut self) -> Result<u32> {
+        let mut b = [0u8; 4];
+        self.r.read_exact(&mut b).map_err(io_err)?;
+        Ok(u32::from_le_bytes(b))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        let mut b = [0u8; 8];
+        self.r.read_exact(&mut b).map_err(io_err)?;
+        Ok(u64::from_le_bytes(b))
+    }
+    fn i64(&mut self) -> Result<i64> {
+        let mut b = [0u8; 8];
+        self.r.read_exact(&mut b).map_err(io_err)?;
+        Ok(i64::from_le_bytes(b))
+    }
+    fn f64(&mut self) -> Result<f64> {
+        let mut b = [0u8; 8];
+        self.r.read_exact(&mut b).map_err(io_err)?;
+        Ok(f64::from_le_bytes(b))
+    }
+    fn bytes(&mut self) -> Result<Vec<u8>> {
+        let len = self.u64()? as usize;
+        if len > 1 << 32 {
+            return Err(DbError::Parse("snapshot: implausible byte length".into()));
+        }
+        let mut buf = vec![0u8; len];
+        self.r.read_exact(&mut buf).map_err(io_err)?;
+        Ok(buf)
+    }
+    fn string(&mut self) -> Result<String> {
+        String::from_utf8(self.bytes()?).map_err(|_| DbError::Parse("snapshot: invalid UTF-8".into()))
+    }
+    fn value(&mut self) -> Result<Value> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Bool(self.u8()? != 0),
+            2 => Value::Int(self.i64()?),
+            3 => Value::Float(self.f64()?),
+            4 => Value::Str(self.string()?),
+            t => return Err(DbError::Parse(format!("snapshot: unknown value tag {t}"))),
+        })
+    }
+}
+
+fn io_err(e: std::io::Error) -> DbError {
+    DbError::Parse(format!("snapshot io: {e}"))
+}
+
+fn dtype_code(d: DataType) -> u8 {
+    match d {
+        DataType::Int => 0,
+        DataType::Float => 1,
+        DataType::Text => 2,
+        DataType::Bool => 3,
+        DataType::Clob => 4,
+    }
+}
+
+fn dtype_from(code: u8) -> Result<DataType> {
+    Ok(match code {
+        0 => DataType::Int,
+        1 => DataType::Float,
+        2 => DataType::Text,
+        3 => DataType::Bool,
+        4 => DataType::Clob,
+        t => return Err(DbError::Parse(format!("snapshot: unknown dtype {t}"))),
+    })
+}
+
+impl Database {
+    /// Write the whole database (tables, index definitions, CLOB heap)
+    /// to `path`. Concurrent writers are excluded per-table while each
+    /// table is copied.
+    pub fn save_to(&self, path: impl AsRef<Path>) -> Result<()> {
+        let file = std::fs::File::create(path).map_err(io_err)?;
+        let mut enc = Enc { w: BufWriter::new(file) };
+        enc.w.write_all(MAGIC).map_err(io_err)?;
+
+        let names = self.table_names();
+        enc.u32(names.len() as u32)?;
+        for name in &names {
+            let t = self.table(name)?;
+            let guard = t.read();
+            enc.string(name)?;
+            // Schema.
+            enc.u32(guard.schema.columns.len() as u32)?;
+            for c in &guard.schema.columns {
+                enc.string(&c.name)?;
+                enc.u8(dtype_code(c.dtype))?;
+                enc.u8(c.nullable as u8)?;
+            }
+            // Index definitions (rebuilt on load).
+            enc.u32(guard.indexes().len() as u32)?;
+            for idx in guard.indexes() {
+                enc.string(&idx.name)?;
+                enc.u8(idx.unique as u8)?;
+                enc.u32(idx.columns.len() as u32)?;
+                for &c in &idx.columns {
+                    enc.u32(c as u32)?;
+                }
+            }
+            // Live rows.
+            enc.u64(guard.len() as u64)?;
+            for (_, row) in guard.scan() {
+                for v in row {
+                    enc.value(v)?;
+                }
+            }
+        }
+        // CLOB heap.
+        save_clobs(&self.clobs, &mut enc)?;
+        enc.w.flush().map_err(io_err)
+    }
+
+    /// Load a database previously written by [`Database::save_to`].
+    pub fn load_from(path: impl AsRef<Path>) -> Result<Database> {
+        let file = std::fs::File::open(path).map_err(io_err)?;
+        let mut dec = Dec { r: BufReader::new(file) };
+        let mut magic = [0u8; 4];
+        dec.r.read_exact(&mut magic).map_err(io_err)?;
+        if &magic != MAGIC {
+            return Err(DbError::Parse("snapshot: bad magic".into()));
+        }
+        let db = Database::new();
+        let n_tables = dec.u32()?;
+        for _ in 0..n_tables {
+            let name = dec.string()?;
+            let n_cols = dec.u32()?;
+            let mut cols = Vec::with_capacity(n_cols as usize);
+            for _ in 0..n_cols {
+                let cname = dec.string()?;
+                let dtype = dtype_from(dec.u8()?)?;
+                let nullable = dec.u8()? != 0;
+                cols.push(Column { name: cname, dtype, nullable });
+            }
+            let arity = cols.len();
+            db.create_table(name.clone(), TableSchema::new(cols))?;
+            // Indexes: recorded now, created after rows are inserted so
+            // unique indexes validate the loaded data once.
+            let n_idx = dec.u32()?;
+            let mut idx_defs = Vec::with_capacity(n_idx as usize);
+            for _ in 0..n_idx {
+                let iname = dec.string()?;
+                let unique = dec.u8()? != 0;
+                let n_keys = dec.u32()?;
+                let mut keys = Vec::with_capacity(n_keys as usize);
+                for _ in 0..n_keys {
+                    keys.push(dec.u32()? as usize);
+                }
+                idx_defs.push((iname, unique, keys));
+            }
+            let n_rows = dec.u64()?;
+            {
+                let t = db.table(&name)?;
+                let mut guard = t.write();
+                for _ in 0..n_rows {
+                    let mut row = Vec::with_capacity(arity);
+                    for _ in 0..arity {
+                        row.push(dec.value()?);
+                    }
+                    guard.insert(row)?;
+                }
+                for (iname, unique, keys) in idx_defs {
+                    guard.create_index(iname, keys, unique)?;
+                }
+            }
+        }
+        load_clobs(&db.clobs, &mut dec)?;
+        Ok(db)
+    }
+}
+
+fn save_clobs<W: Write>(clobs: &ClobStore, enc: &mut Enc<W>) -> Result<()> {
+    let n = clobs.len();
+    enc.u64(n as u64)?;
+    for id in 0..n as u64 {
+        let b = clobs.get(id)?;
+        enc.bytes(&b)?;
+    }
+    Ok(())
+}
+
+fn load_clobs<R: Read>(clobs: &ClobStore, dec: &mut Dec<R>) -> Result<()> {
+    let n = dec.u64()?;
+    for _ in 0..n {
+        clobs.put(dec.bytes()?);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Plan;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("minidb-snap-{name}-{}", std::process::id()))
+    }
+
+    fn populated() -> Database {
+        let db = Database::new();
+        db.execute_sql("CREATE TABLE t (id INT NOT NULL, name TEXT, w FLOAT, ok BOOL, doc CLOB)")
+            .unwrap();
+        db.execute_sql("CREATE UNIQUE INDEX t_pk ON t (id)").unwrap();
+        db.execute_sql("CREATE INDEX t_by_name ON t (name, w)").unwrap();
+        let loc = db.clobs.put("<xml>hello</xml>".as_bytes().to_vec());
+        db.insert(
+            "t",
+            vec![
+                vec![1.into(), "ada".into(), 1.5.into(), true.into(), Value::Int(loc as i64)],
+                vec![2.into(), Value::Null, Value::Null, false.into(), Value::Null],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let db = populated();
+        // Delete a row so tombstones exercise the live-rows-only path.
+        db.execute_sql("INSERT INTO t VALUES (3, 'temp', 0.0, false, NULL)").unwrap();
+        db.execute_sql("DELETE FROM t WHERE id = 3").unwrap();
+
+        let path = tmp("roundtrip");
+        db.save_to(&path).unwrap();
+        let loaded = Database::load_from(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.table_names(), db.table_names());
+        assert_eq!(loaded.row_count("t").unwrap(), 2);
+        // Values survive with types.
+        let rs = loaded.execute_sql("SELECT name, w, ok FROM t WHERE id = 1").unwrap();
+        assert_eq!(rs.rows[0][0], Value::Str("ada".into()));
+        assert_eq!(rs.rows[0][1], Value::Float(1.5));
+        assert_eq!(rs.rows[0][2], Value::Bool(true));
+        // NULLs survive.
+        let rs = loaded.execute_sql("SELECT name FROM t WHERE id = 2").unwrap();
+        assert!(rs.rows[0][0].is_null());
+        // CLOB heap survives and locators still resolve.
+        let rs = loaded.execute_sql("SELECT doc FROM t WHERE id = 1").unwrap();
+        let loc = rs.rows[0][0].as_i64().unwrap();
+        assert_eq!(loaded.clobs.get_str(loc as u64).unwrap(), "<xml>hello</xml>");
+        // Indexes were rebuilt: unique constraint enforced, lookups work.
+        assert!(loaded.execute_sql("INSERT INTO t VALUES (1, 'dup', 0.0, false, NULL)").is_err());
+        let rs = loaded
+            .execute(&Plan::IndexLookup {
+                table: "t".into(),
+                index: "t_by_name".into(),
+                key: vec!["ada".into(), 1.5.into()],
+                filter: None,
+            })
+            .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+    }
+
+    #[test]
+    fn schema_nullability_restored() {
+        let db = populated();
+        let path = tmp("nullability");
+        db.save_to(&path).unwrap();
+        let loaded = Database::load_from(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        // id is NOT NULL: inserting NULL must fail.
+        assert!(loaded
+            .insert("t", vec![vec![Value::Null, Value::Null, Value::Null, Value::Null, Value::Null]])
+            .is_err());
+    }
+
+    #[test]
+    fn bad_files_rejected() {
+        let path = tmp("bad");
+        std::fs::write(&path, b"NOPEgarbage").unwrap();
+        assert!(Database::load_from(&path).is_err());
+        std::fs::write(&path, b"MD").unwrap();
+        assert!(Database::load_from(&path).is_err());
+        std::fs::remove_file(&path).ok();
+        assert!(Database::load_from(tmp("missing-file")).is_err());
+    }
+
+    #[test]
+    fn empty_database_roundtrips() {
+        let db = Database::new();
+        let path = tmp("empty");
+        db.save_to(&path).unwrap();
+        let loaded = Database::load_from(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(loaded.table_names().is_empty());
+        assert_eq!(loaded.clobs.len(), 0);
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let db = populated();
+        let path = tmp("trunc");
+        db.save_to(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(Database::load_from(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,187 @@
+//! SQL abstract syntax.
+
+use crate::value::{DataType, Value};
+
+/// A scalar SQL expression (unbound: columns are still names).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// `t.col` or `col`.
+    Col {
+        /// Optional table/alias qualifier.
+        table: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Literal value.
+    Lit(Value),
+    /// Binary operator (`=`, `<>`, `<`, `<=`, `>`, `>=`, `AND`, `OR`,
+    /// `+`, `-`, `*`, `/`, `%`).
+    Binary {
+        /// Operator spelling (normalized).
+        op: String,
+        /// Left operand.
+        lhs: Box<SqlExpr>,
+        /// Right operand.
+        rhs: Box<SqlExpr>,
+    },
+    /// `NOT expr`.
+    Not(Box<SqlExpr>),
+    /// `expr IS NULL` / `expr IS NOT NULL` (negated = true).
+    IsNull {
+        /// Operand.
+        expr: Box<SqlExpr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `expr LIKE 'pattern'`.
+    Like {
+        /// Operand.
+        expr: Box<SqlExpr>,
+        /// Pattern literal.
+        pattern: String,
+    },
+    /// `expr BETWEEN lo AND hi`.
+    Between {
+        /// Operand.
+        expr: Box<SqlExpr>,
+        /// Lower bound.
+        lo: Box<SqlExpr>,
+        /// Upper bound.
+        hi: Box<SqlExpr>,
+    },
+    /// `expr IN (v1, v2, ...)` (literals only).
+    InList {
+        /// Operand.
+        expr: Box<SqlExpr>,
+        /// Allowed values.
+        list: Vec<Value>,
+    },
+    /// Aggregate call: `COUNT(*)`, `SUM(x)`, `COUNT(DISTINCT x)`, ...
+    Agg {
+        /// Function name (upper-cased).
+        func: String,
+        /// Argument (`None` for `COUNT(*)`).
+        arg: Option<Box<SqlExpr>>,
+        /// DISTINCT modifier.
+        distinct: bool,
+    },
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`.
+    Star,
+    /// `expr [AS alias]`.
+    Expr {
+        /// The expression.
+        expr: SqlExpr,
+        /// Output alias.
+        alias: Option<String>,
+    },
+}
+
+/// A table reference with an optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name.
+    pub name: String,
+    /// Alias (`FROM t a` / `FROM t AS a`).
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this reference binds in scope.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// A `JOIN ... ON ...` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// Joined table.
+    pub table: TableRef,
+    /// Join condition.
+    pub on: SqlExpr,
+    /// True for `LEFT [OUTER] JOIN`.
+    pub left_outer: bool,
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// DISTINCT modifier.
+    pub distinct: bool,
+    /// First FROM table.
+    pub from: TableRef,
+    /// JOIN clauses in order.
+    pub joins: Vec<JoinClause>,
+    /// WHERE predicate.
+    pub where_: Option<SqlExpr>,
+    /// GROUP BY expressions (column refs).
+    pub group_by: Vec<SqlExpr>,
+    /// HAVING predicate (may reference aggregates).
+    pub having: Option<SqlExpr>,
+    /// ORDER BY `(expr, descending)`.
+    pub order_by: Vec<(SqlExpr, bool)>,
+    /// LIMIT row cap.
+    pub limit: Option<usize>,
+}
+
+/// A full SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `CREATE TABLE name (col TYPE [NULL], ...)`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// `(name, type, nullable)` triples.
+        columns: Vec<(String, DataType, bool)>,
+    },
+    /// `CREATE [UNIQUE] INDEX name ON table (cols)`.
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Table name.
+        table: String,
+        /// Indexed column names.
+        columns: Vec<String>,
+        /// Uniqueness constraint.
+        unique: bool,
+    },
+    /// `DROP TABLE name`.
+    DropTable {
+        /// Table name.
+        name: String,
+    },
+    /// `INSERT INTO t [(cols)] VALUES (...), (...)`.
+    Insert {
+        /// Table name.
+        table: String,
+        /// Optional explicit column list.
+        columns: Option<Vec<String>>,
+        /// Literal rows.
+        rows: Vec<Vec<Value>>,
+    },
+    /// `UPDATE t SET col = expr, ... [WHERE ...]`.
+    Update {
+        /// Table name.
+        table: String,
+        /// `(column, new value expression)` assignments.
+        sets: Vec<(String, SqlExpr)>,
+        /// Optional predicate.
+        where_: Option<SqlExpr>,
+    },
+    /// `DELETE FROM t [WHERE ...]`.
+    Delete {
+        /// Table name.
+        table: String,
+        /// Optional predicate.
+        where_: Option<SqlExpr>,
+    },
+    /// A SELECT query.
+    Select(SelectStmt),
+}

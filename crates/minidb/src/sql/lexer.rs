@@ -1,0 +1,181 @@
+//! SQL lexer.
+
+use crate::error::{DbError, Result};
+
+/// One SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are matched case-insensitively
+    /// by the parser; the original spelling is kept).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal ('' escapes a quote).
+    Str(String),
+    /// Punctuation / operator.
+    Punct(&'static str),
+}
+
+impl Tok {
+    /// True when this token is the (case-insensitive) keyword `kw`.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+const PUNCTS: &[&str] = &[
+    "<>", "!=", "<=", ">=", "(", ")", ",", ";", "*", "=", "<", ">", "+", "-", "/", "%", ".",
+];
+
+/// Tokenize `src` into a vector of tokens.
+pub fn lex(src: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    'outer: while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // -- line comments
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '\'' {
+            let mut s = String::new();
+            i += 1;
+            loop {
+                match bytes.get(i) {
+                    None => return Err(DbError::Parse("unterminated string literal".into())),
+                    Some(b'\'') => {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    Some(&b) => {
+                        // copy raw bytes; SQL strings are UTF-8 passthrough
+                        let ch_len = utf8_len(b);
+                        s.push_str(std::str::from_utf8(&bytes[i..i + ch_len]).map_err(|_| {
+                            DbError::Parse("invalid UTF-8 in string literal".into())
+                        })?);
+                        i += ch_len;
+                    }
+                }
+            }
+            out.push(Tok::Str(s));
+            continue;
+        }
+        if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) {
+            let start = i;
+            let mut is_float = false;
+            while i < bytes.len() {
+                let b = bytes[i] as char;
+                if b.is_ascii_digit() {
+                    i += 1;
+                } else if b == '.' && !is_float {
+                    is_float = true;
+                    i += 1;
+                } else if (b == 'e' || b == 'E') && i > start {
+                    is_float = true;
+                    i += 1;
+                    if matches!(bytes.get(i), Some(b'+') | Some(b'-')) {
+                        i += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+            let text = &src[start..i];
+            if is_float {
+                out.push(Tok::Float(text.parse().map_err(|_| {
+                    DbError::Parse(format!("bad float literal {text}"))
+                })?));
+            } else {
+                out.push(Tok::Int(text.parse().map_err(|_| {
+                    DbError::Parse(format!("bad integer literal {text}"))
+                })?));
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() {
+                let b = bytes[i] as char;
+                if b.is_ascii_alphanumeric() || b == '_' {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.push(Tok::Ident(src[start..i].to_string()));
+            continue;
+        }
+        for p in PUNCTS {
+            if src[i..].starts_with(p) {
+                out.push(Tok::Punct(p));
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(DbError::Parse(format!("unexpected character {c:?} at byte {i}")));
+    }
+    Ok(out)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let t = lex("SELECT a, b FROM t WHERE x >= 1.5 AND y = 'it''s'").unwrap();
+        assert!(t[0].is_kw("select"));
+        assert!(t.contains(&Tok::Punct(">=")));
+        assert!(t.contains(&Tok::Float(1.5)));
+        assert!(t.contains(&Tok::Str("it's".into())));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = lex("SELECT 1 -- trailing\n, 2").unwrap();
+        assert_eq!(t.iter().filter(|x| matches!(x, Tok::Int(_))).count(), 2);
+    }
+
+    #[test]
+    fn neq_both_forms() {
+        assert!(lex("a <> b").unwrap().contains(&Tok::Punct("<>")));
+        assert!(lex("a != b").unwrap().contains(&Tok::Punct("!=")));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("SELECT @").is_err());
+    }
+
+    #[test]
+    fn scientific_float() {
+        let t = lex("1e3 2.5E-2").unwrap();
+        assert_eq!(t[0], Tok::Float(1000.0));
+        assert_eq!(t[1], Tok::Float(0.025));
+    }
+}

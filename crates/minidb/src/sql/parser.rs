@@ -1,0 +1,587 @@
+//! Recursive-descent SQL parser.
+
+use super::ast::*;
+use super::lexer::{lex, Tok};
+use crate::error::{DbError, Result};
+use crate::value::{DataType, Value};
+
+/// Parse one SQL statement (a trailing `;` is allowed).
+pub fn parse(src: &str) -> Result<Stmt> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let stmt = p.stmt()?;
+    p.eat_punct(";");
+    if p.pos != p.toks.len() {
+        return Err(DbError::Parse(format!("trailing tokens after statement: {:?}", p.peek())));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(DbError::Parse(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(DbError::Parse(format!("expected '{p}', found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(DbError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        if self.eat_kw("create") {
+            let unique = self.eat_kw("unique");
+            if self.eat_kw("table") {
+                if unique {
+                    return Err(DbError::Parse("UNIQUE TABLE is not a thing".into()));
+                }
+                return self.create_table();
+            }
+            if self.eat_kw("index") {
+                return self.create_index(unique);
+            }
+            return Err(DbError::Parse("expected TABLE or INDEX after CREATE".into()));
+        }
+        if self.eat_kw("drop") {
+            self.expect_kw("table")?;
+            return Ok(Stmt::DropTable { name: self.ident()? });
+        }
+        if self.eat_kw("insert") {
+            return self.insert();
+        }
+        if self.eat_kw("update") {
+            let table = self.ident()?;
+            self.expect_kw("set")?;
+            let mut sets = Vec::new();
+            loop {
+                let col = self.ident()?;
+                self.expect_punct("=")?;
+                let value = self.expr()?;
+                sets.push((col, value));
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            let where_ = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+            return Ok(Stmt::Update { table, sets, where_ });
+        }
+        if self.eat_kw("delete") {
+            self.expect_kw("from")?;
+            let table = self.ident()?;
+            let where_ = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+            return Ok(Stmt::Delete { table, where_ });
+        }
+        if self.eat_kw("select") {
+            return Ok(Stmt::Select(self.select()?));
+        }
+        Err(DbError::Parse(format!("unknown statement start: {:?}", self.peek())))
+    }
+
+    fn create_table(&mut self) -> Result<Stmt> {
+        let name = self.ident()?;
+        self.expect_punct("(")?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty_name = self.ident()?;
+            let dtype = match ty_name.to_ascii_uppercase().as_str() {
+                "INT" | "INTEGER" | "BIGINT" => DataType::Int,
+                "FLOAT" | "DOUBLE" | "REAL" => DataType::Float,
+                "TEXT" | "VARCHAR" | "STRING" => DataType::Text,
+                "BOOL" | "BOOLEAN" => DataType::Bool,
+                "CLOB" => DataType::Clob,
+                other => return Err(DbError::Parse(format!("unknown type {other}"))),
+            };
+            // Optional length like VARCHAR(255) — parsed and ignored.
+            if self.eat_punct("(") {
+                match self.next() {
+                    Some(Tok::Int(_)) => {}
+                    other => return Err(DbError::Parse(format!("expected length, found {other:?}"))),
+                }
+                self.expect_punct(")")?;
+            }
+            let mut nullable = true;
+            if self.eat_kw("not") {
+                self.expect_kw("null")?;
+                nullable = false;
+            } else {
+                self.eat_kw("null");
+            }
+            columns.push((col, dtype, nullable));
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_punct(")")?;
+        Ok(Stmt::CreateTable { name, columns })
+    }
+
+    fn create_index(&mut self, unique: bool) -> Result<Stmt> {
+        let name = self.ident()?;
+        self.expect_kw("on")?;
+        let table = self.ident()?;
+        self.expect_punct("(")?;
+        let mut columns = vec![self.ident()?];
+        while self.eat_punct(",") {
+            columns.push(self.ident()?);
+        }
+        self.expect_punct(")")?;
+        Ok(Stmt::CreateIndex { name, table, columns, unique })
+    }
+
+    fn insert(&mut self) -> Result<Stmt> {
+        self.expect_kw("into")?;
+        let table = self.ident()?;
+        let columns = if self.eat_punct("(") {
+            let mut cols = vec![self.ident()?];
+            while self.eat_punct(",") {
+                cols.push(self.ident()?);
+            }
+            self.expect_punct(")")?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_kw("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_punct("(")?;
+            let mut row = vec![self.literal()?];
+            while self.eat_punct(",") {
+                row.push(self.literal()?);
+            }
+            self.expect_punct(")")?;
+            rows.push(row);
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        Ok(Stmt::Insert { table, columns, rows })
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        let neg = self.eat_punct("-");
+        match self.next() {
+            Some(Tok::Int(i)) => Ok(Value::Int(if neg { -i } else { i })),
+            Some(Tok::Float(f)) => Ok(Value::Float(if neg { -f } else { f })),
+            Some(Tok::Str(s)) if !neg => Ok(Value::Str(s)),
+            Some(Tok::Ident(s)) if !neg && s.eq_ignore_ascii_case("null") => Ok(Value::Null),
+            Some(Tok::Ident(s)) if !neg && s.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
+            Some(Tok::Ident(s)) if !neg && s.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
+            other => Err(DbError::Parse(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        let distinct = self.eat_kw("distinct");
+        let mut items = vec![self.select_item()?];
+        while self.eat_punct(",") {
+            items.push(self.select_item()?);
+        }
+        self.expect_kw("from")?;
+        let from = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let left_outer = if self.eat_kw("left") {
+                self.eat_kw("outer");
+                self.expect_kw("join")?;
+                true
+            } else if self.eat_kw("inner") {
+                self.expect_kw("join")?;
+                false
+            } else if self.eat_kw("join") {
+                false
+            } else {
+                break;
+            };
+            let table = self.table_ref()?;
+            self.expect_kw("on")?;
+            let on = self.expr()?;
+            joins.push(JoinClause { table, on, left_outer });
+        }
+        let where_ = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            group_by.push(self.expr()?);
+            while self.eat_punct(",") {
+                group_by.push(self.expr()?);
+            }
+        }
+        let having = if self.eat_kw("having") { Some(self.expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let e = self.expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push((e, desc));
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.next() {
+                Some(Tok::Int(n)) if n >= 0 => Some(n as usize),
+                other => return Err(DbError::Parse(format!("expected LIMIT count, found {other:?}"))),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt { items, distinct, from, joins, where_, group_by, having, order_by, limit })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.eat_punct("*") {
+            return Ok(SelectItem::Star);
+        }
+        let expr = self.expr()?;
+        self.eat_kw("as");
+        let alias = if matches!(self.peek(), Some(Tok::Ident(s)) if !is_reserved(s)) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let name = self.ident()?;
+        self.eat_kw("as");
+        let alias = if matches!(self.peek(), Some(Tok::Ident(s)) if !is_reserved(s)) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    // Expression precedence: OR < AND < NOT < cmp/LIKE/IN/BETWEEN/IS < add < mul < unary.
+    fn expr(&mut self) -> Result<SqlExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<SqlExpr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("or") {
+            let rhs = self.and_expr()?;
+            lhs = SqlExpr::Binary { op: "OR".into(), lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<SqlExpr> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("and") {
+            let rhs = self.not_expr()?;
+            lhs = SqlExpr::Binary { op: "AND".into(), lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<SqlExpr> {
+        if self.eat_kw("not") {
+            return Ok(SqlExpr::Not(Box::new(self.not_expr()?)));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<SqlExpr> {
+        let lhs = self.add_expr()?;
+        for op in ["<=", ">=", "<>", "!=", "=", "<", ">"] {
+            if self.eat_punct(op) {
+                let rhs = self.add_expr()?;
+                let norm = match op {
+                    "!=" => "<>",
+                    o => o,
+                };
+                return Ok(SqlExpr::Binary { op: norm.into(), lhs: Box::new(lhs), rhs: Box::new(rhs) });
+            }
+        }
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(SqlExpr::IsNull { expr: Box::new(lhs), negated });
+        }
+        if self.eat_kw("like") {
+            match self.next() {
+                Some(Tok::Str(p)) => {
+                    return Ok(SqlExpr::Like { expr: Box::new(lhs), pattern: p });
+                }
+                other => return Err(DbError::Parse(format!("expected LIKE pattern, found {other:?}"))),
+            }
+        }
+        if self.eat_kw("between") {
+            let lo = self.add_expr()?;
+            self.expect_kw("and")?;
+            let hi = self.add_expr()?;
+            return Ok(SqlExpr::Between { expr: Box::new(lhs), lo: Box::new(lo), hi: Box::new(hi) });
+        }
+        if self.eat_kw("in") {
+            self.expect_punct("(")?;
+            let mut list = vec![self.literal()?];
+            while self.eat_punct(",") {
+                list.push(self.literal()?);
+            }
+            self.expect_punct(")")?;
+            return Ok(SqlExpr::InList { expr: Box::new(lhs), list });
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<SqlExpr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = if self.eat_punct("+") {
+                "+"
+            } else if self.eat_punct("-") {
+                "-"
+            } else {
+                break;
+            };
+            let rhs = self.mul_expr()?;
+            lhs = SqlExpr::Binary { op: op.into(), lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<SqlExpr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = if self.eat_punct("*") {
+                "*"
+            } else if self.eat_punct("/") {
+                "/"
+            } else if self.eat_punct("%") {
+                "%"
+            } else {
+                break;
+            };
+            let rhs = self.unary_expr()?;
+            lhs = SqlExpr::Binary { op: op.into(), lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<SqlExpr> {
+        if self.eat_punct("-") {
+            let inner = self.unary_expr()?;
+            return Ok(SqlExpr::Binary {
+                op: "-".into(),
+                lhs: Box::new(SqlExpr::Lit(Value::Int(0))),
+                rhs: Box::new(inner),
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<SqlExpr> {
+        if self.eat_punct("(") {
+            let e = self.expr()?;
+            self.expect_punct(")")?;
+            return Ok(e);
+        }
+        match self.next() {
+            Some(Tok::Int(i)) => Ok(SqlExpr::Lit(Value::Int(i))),
+            Some(Tok::Float(f)) => Ok(SqlExpr::Lit(Value::Float(f))),
+            Some(Tok::Str(s)) => Ok(SqlExpr::Lit(Value::Str(s))),
+            Some(Tok::Ident(s)) => {
+                let up = s.to_ascii_uppercase();
+                if up == "NULL" {
+                    return Ok(SqlExpr::Lit(Value::Null));
+                }
+                if up == "TRUE" {
+                    return Ok(SqlExpr::Lit(Value::Bool(true)));
+                }
+                if up == "FALSE" {
+                    return Ok(SqlExpr::Lit(Value::Bool(false)));
+                }
+                if matches!(up.as_str(), "COUNT" | "SUM" | "MIN" | "MAX" | "AVG") && self.eat_punct("(") {
+                    if up == "COUNT" && self.eat_punct("*") {
+                        self.expect_punct(")")?;
+                        return Ok(SqlExpr::Agg { func: up, arg: None, distinct: false });
+                    }
+                    let distinct = self.eat_kw("distinct");
+                    let arg = self.expr()?;
+                    self.expect_punct(")")?;
+                    return Ok(SqlExpr::Agg { func: up, arg: Some(Box::new(arg)), distinct });
+                }
+                if self.eat_punct(".") {
+                    let col = self.ident()?;
+                    return Ok(SqlExpr::Col { table: Some(s), name: col });
+                }
+                Ok(SqlExpr::Col { table: None, name: s })
+            }
+            other => Err(DbError::Parse(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+/// Keywords that terminate an implicit alias position.
+fn is_reserved(s: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "select", "from", "where", "group", "by", "having", "order", "limit", "join", "inner",
+        "left", "outer", "on", "and", "or", "not", "as", "asc", "desc", "is", "null", "like",
+        "between", "in", "distinct", "values", "insert", "into", "delete", "create", "drop",
+        "table", "index", "unique", "union", "update", "set",
+    ];
+    RESERVED.iter().any(|k| s.eq_ignore_ascii_case(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table_stmt() {
+        let s = parse("CREATE TABLE t (id INT NOT NULL, name VARCHAR(20), w FLOAT)").unwrap();
+        match s {
+            Stmt::CreateTable { name, columns } => {
+                assert_eq!(name, "t");
+                assert_eq!(columns[0], ("id".into(), DataType::Int, false));
+                assert_eq!(columns[1], ("name".into(), DataType::Text, true));
+                assert_eq!(columns[2], ("w".into(), DataType::Float, true));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_stmt_multi_row() {
+        let s = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (-2, NULL)").unwrap();
+        match s {
+            Stmt::Insert { table, columns, rows } => {
+                assert_eq!(table, "t");
+                assert_eq!(columns.unwrap(), vec!["a", "b"]);
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[1][0], Value::Int(-2));
+                assert!(rows[1][1].is_null());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_full_clause_order() {
+        let s = parse(
+            "SELECT d.name, COUNT(*) AS n FROM emp e JOIN dept d ON e.dept = d.name \
+             WHERE e.salary > 50 GROUP BY d.name HAVING COUNT(*) >= 1 \
+             ORDER BY n DESC, d.name LIMIT 10;",
+        )
+        .unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        assert_eq!(sel.items.len(), 2);
+        assert_eq!(sel.from.binding(), "e");
+        assert_eq!(sel.joins.len(), 1);
+        assert!(sel.where_.is_some());
+        assert_eq!(sel.group_by.len(), 1);
+        assert!(sel.having.is_some());
+        assert_eq!(sel.order_by.len(), 2);
+        assert!(sel.order_by[0].1);
+        assert_eq!(sel.limit, Some(10));
+    }
+
+    #[test]
+    fn operators_and_precedence() {
+        let s = parse("SELECT * FROM t WHERE a + 1 * 2 = 3 AND NOT b OR c").unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        // Top must be OR.
+        match sel.where_.unwrap() {
+            SqlExpr::Binary { op, .. } => assert_eq!(op, "OR"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn special_predicates() {
+        let s = parse("SELECT * FROM t WHERE a IS NOT NULL AND b LIKE 'x%' AND c BETWEEN 1 AND 2 AND d IN (1, 2)").unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        let w = format!("{:?}", sel.where_.unwrap());
+        assert!(w.contains("IsNull"));
+        assert!(w.contains("Like"));
+        assert!(w.contains("Between"));
+        assert!(w.contains("InList"));
+    }
+
+    #[test]
+    fn count_distinct() {
+        let s = parse("SELECT COUNT(DISTINCT a) FROM t").unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        match &sel.items[0] {
+            SelectItem::Expr { expr: SqlExpr::Agg { func, distinct, .. }, .. } => {
+                assert_eq!(func, "COUNT");
+                assert!(distinct);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("CREATE TABLE t (x NOPE)").is_err());
+        assert!(parse("INSERT INTO t VALUES (1) garbage").is_err());
+        assert!(parse("SELECT * FROM t WHERE a = ").is_err());
+    }
+
+    #[test]
+    fn left_join_parses() {
+        let s = parse("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.y").unwrap();
+        let Stmt::Select(sel) = s else { panic!() };
+        assert!(sel.joins[0].left_outer);
+    }
+}

@@ -1,0 +1,346 @@
+//! Scalar values and column types.
+//!
+//! `minidb` is dynamically typed at the row level (like SQLite): every
+//! cell holds a [`Value`], and [`DataType`] declarations on columns are
+//! checked on insert. A single *total order* over all values backs both
+//! B-tree indexes and `ORDER BY`, with numeric types comparing
+//! cross-type (`Int(2) == Float(2.0)`).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Boolean.
+    Bool,
+    /// Opaque locator into the CLOB heap (stored as an integer id).
+    Clob,
+}
+
+impl DataType {
+    /// SQL-ish keyword for the type.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Text => "TEXT",
+            DataType::Bool => "BOOL",
+            DataType::Clob => "CLOB",
+        }
+    }
+
+    /// True when `v` may be stored in a column of this type.
+    /// `Null` is accepted by every type (nullability is a column flag).
+    pub fn admits(self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (DataType::Int, Value::Int(_))
+                | (DataType::Float, Value::Float(_) | Value::Int(_))
+                | (DataType::Text, Value::Str(_))
+                | (DataType::Bool, Value::Bool(_))
+                | (DataType::Clob, Value::Int(_))
+        )
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// One cell value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 text.
+    Str(String),
+}
+
+impl Value {
+    /// Total order across all values: `Null < Bool < numeric < Str`,
+    /// with `Int`/`Float` compared numerically and NaN sorted last
+    /// among numerics.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Bool(_) => 1,
+                Int(_) | Float(_) => 2,
+                Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// SQL three-valued equality: comparisons with NULL are `None`.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        if matches!(self, Value::Null) || matches!(other, Value::Null) {
+            return None;
+        }
+        Some(self.total_cmp(other))
+    }
+
+    /// True when the value is NULL.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interpret as a boolean for WHERE evaluation (NULL → false).
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Null => false,
+            Value::Str(s) => !s.is_empty(),
+        }
+    }
+
+    /// Numeric view, if any.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view, if any (floats with integral value included).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) if f.fract() == 0.0 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// String view, if the value is text.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Parse text into the closest value of `dt` (used when ingesting
+    /// XML character data into typed element tables).
+    pub fn parse_as(text: &str, dt: DataType) -> Option<Value> {
+        let t = text.trim();
+        match dt {
+            DataType::Int => t.parse::<i64>().ok().map(Value::Int),
+            DataType::Float => t.parse::<f64>().ok().map(Value::Float),
+            DataType::Bool => match t {
+                "true" | "TRUE" | "1" => Some(Value::Bool(true)),
+                "false" | "FALSE" | "0" => Some(Value::Bool(false)),
+                _ => None,
+            },
+            DataType::Text => Some(Value::Str(text.to_string())),
+            DataType::Clob => t.parse::<i64>().ok().map(Value::Int),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Consistent with total_cmp equality: Int(2) == Float(2.0), so
+        // hash every numeric through its f64 bit pattern (integers up
+        // to 2^53 round-trip exactly; beyond that we fall back to the
+        // integer bits, which cannot collide with any float that
+        // compares equal because such floats don't exist exactly).
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            Value::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn cross_type_numeric_order() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(1.5) < Value::Int(2));
+        assert_eq!(h(&Value::Int(2)), h(&Value::Float(2.0)));
+    }
+
+    #[test]
+    fn type_rank_order() {
+        assert!(Value::Null < Value::Bool(false));
+        assert!(Value::Bool(true) < Value::Int(i64::MIN));
+        assert!(Value::Int(i64::MAX) < Value::Str(String::new()));
+    }
+
+    #[test]
+    fn sql_cmp_null_propagates() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(1)), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn nan_sorts_consistently() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.total_cmp(&nan), Ordering::Equal);
+        assert!(Value::Float(f64::INFINITY) < nan);
+    }
+
+    #[test]
+    fn admits_matrix() {
+        assert!(DataType::Int.admits(&Value::Int(1)));
+        assert!(!DataType::Int.admits(&Value::Float(1.0)));
+        assert!(DataType::Float.admits(&Value::Int(1)));
+        assert!(DataType::Text.admits(&Value::Str("x".into())));
+        assert!(DataType::Clob.admits(&Value::Int(9)));
+        assert!(DataType::Bool.admits(&Value::Null));
+    }
+
+    #[test]
+    fn parse_as_types() {
+        assert_eq!(Value::parse_as(" 42 ", DataType::Int), Some(Value::Int(42)));
+        assert_eq!(Value::parse_as("100.000", DataType::Float), Some(Value::Float(100.0)));
+        assert_eq!(Value::parse_as("true", DataType::Bool), Some(Value::Bool(true)));
+        assert_eq!(Value::parse_as("x", DataType::Int), None);
+        assert_eq!(Value::parse_as("keep  spaces", DataType::Text), Some(Value::Str("keep  spaces".into())));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.truthy());
+        assert!(Value::Int(5).truthy());
+        assert!(!Value::Str(String::new()).truthy());
+        assert!(Value::Bool(true).truthy());
+    }
+}

@@ -1,0 +1,148 @@
+//! Blocking client for the catalog service protocol.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side error.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server answered `ERR <message>`.
+    Server(String),
+    /// The server's reply did not match the protocol.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Result alias for client calls.
+pub type Result<T> = std::result::Result<T, ClientError>;
+
+/// A connected catalog client.
+pub struct CatalogClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl CatalogClient {
+    /// Connect to a catalog server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<CatalogClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(CatalogClient { reader: BufReader::new(stream.try_clone()?), writer: stream })
+    }
+
+    fn read_status(&mut self) -> Result<String> {
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if let Some(rest) = line.strip_prefix("OK") {
+            Ok(rest.trim_start().to_string())
+        } else if let Some(err) = line.strip_prefix("ERR ") {
+            Err(ClientError::Server(err.to_string()))
+        } else {
+            Err(ClientError::Protocol(format!("unexpected reply {line:?}")))
+        }
+    }
+
+    fn read_sized_body(&mut self, header: &str) -> Result<String> {
+        let len: usize = header
+            .split_whitespace()
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad length header {header:?}")))?;
+        let mut buf = vec![0u8; len];
+        self.reader.read_exact(&mut buf)?;
+        String::from_utf8(buf).map_err(|_| ClientError::Protocol("body is not UTF-8".into()))
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<()> {
+        writeln!(self.writer, "PING")?;
+        self.read_status().map(|_| ())
+    }
+
+    /// Ingest a metadata document; returns the assigned object id.
+    pub fn ingest(&mut self, xml: &str) -> Result<i64> {
+        writeln!(self.writer, "INGEST {}", xml.len())?;
+        self.writer.write_all(xml.as_bytes())?;
+        let rest = self.read_status()?;
+        rest.parse().map_err(|_| ClientError::Protocol(format!("bad object id {rest:?}")))
+    }
+
+    /// Append an attribute instance to an existing object.
+    pub fn add_attribute(&mut self, object_id: i64, fragment_xml: &str) -> Result<()> {
+        writeln!(self.writer, "ADD {object_id} {}", fragment_xml.len())?;
+        self.writer.write_all(fragment_xml.as_bytes())?;
+        self.read_status().map(|_| ())
+    }
+
+    /// Run a query (the `catalog::qparse` DSL); returns object ids.
+    pub fn query(&mut self, dsl: &str) -> Result<Vec<i64>> {
+        writeln!(self.writer, "QUERY {dsl}")?;
+        let rest = self.read_status()?;
+        let mut toks = rest.split_whitespace();
+        let n: usize = toks
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad count in {rest:?}")))?;
+        let ids: std::result::Result<Vec<i64>, _> = toks.map(|t| t.parse::<i64>()).collect();
+        let ids = ids.map_err(|_| ClientError::Protocol(format!("bad id list in {rest:?}")))?;
+        if ids.len() != n {
+            return Err(ClientError::Protocol(format!("count {n} != ids {}", ids.len())));
+        }
+        Ok(ids)
+    }
+
+    /// Fetch reconstructed documents wrapped in a `<results>` envelope.
+    pub fn fetch(&mut self, ids: &[i64]) -> Result<String> {
+        let list: Vec<String> = ids.iter().map(|i| i.to_string()).collect();
+        writeln!(self.writer, "FETCH {}", list.join(","))?;
+        let header = self.read_status()?;
+        self.read_sized_body(&header)
+    }
+
+    /// Query and fetch in one round trip.
+    pub fn search(&mut self, dsl: &str) -> Result<String> {
+        writeln!(self.writer, "SEARCH {dsl}")?;
+        let header = self.read_status()?;
+        self.read_sized_body(&header)
+    }
+
+    /// Server-side statistics as `key=value` pairs.
+    pub fn stats(&mut self) -> Result<Vec<(String, u64)>> {
+        writeln!(self.writer, "STATS")?;
+        let rest = self.read_status()?;
+        Ok(rest
+            .split_whitespace()
+            .filter_map(|kv| {
+                let (k, v) = kv.split_once('=')?;
+                Some((k.to_string(), v.parse().ok()?))
+            })
+            .collect())
+    }
+
+    /// Close the session politely.
+    pub fn quit(mut self) -> Result<()> {
+        writeln!(self.writer, "QUIT")?;
+        self.read_status().map(|_| ())
+    }
+}

@@ -1,0 +1,34 @@
+//! # mylead-service — the catalog as a grid service
+//!
+//! myLEAD runs as a grid service that scientists' tools talk to over
+//! the network. This crate provides that deployment surface for the
+//! hybrid catalog: a threaded TCP [`server`] speaking a small line
+//! protocol, and a matching [`client`].
+//!
+//! ## Protocol
+//!
+//! Requests are a command line terminated by `\n`; bodies (XML) are
+//! length-prefixed so documents never need escaping:
+//!
+//! ```text
+//! INGEST <len>\n<len bytes of XML>      → OK <object-id>
+//! ADD <object-id> <len>\n<bytes>        → OK
+//! QUERY <query-dsl>                     → OK <n> <id> <id> ...
+//! FETCH <id>[,<id>...]                  → OK <len>\n<len bytes of XML>
+//! SEARCH <query-dsl>                    → OK <len>\n<results envelope>
+//! STATS                                 → OK objects=<n> attrs=<n> ...
+//! PING                                  → OK pong
+//! QUIT                                  → OK bye (connection closes)
+//! ```
+//!
+//! Errors come back as `ERR <message>`. The query DSL is
+//! [`catalog::qparse`]'s language, e.g.
+//! `grid@ARPS[dx=1000]{grid-stretching@ARPS[dzmin=100]}`.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+
+pub use client::CatalogClient;
+pub use server::CatalogServer;

@@ -1,0 +1,205 @@
+//! Threaded TCP server exposing a [`MetadataCatalog`].
+
+use catalog::catalog::MetadataCatalog;
+use catalog::qparse::parse_query;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Upper bound on request bodies (16 MiB — grid metadata documents are
+/// small; this guards against malformed length prefixes).
+const MAX_BODY: usize = 16 << 20;
+
+/// A running catalog server.
+///
+/// The listener thread accepts connections and spawns one worker thread
+/// per client; all workers share the catalog (its internal locks make
+/// that safe). Dropping the handle (or calling [`CatalogServer::stop`])
+/// shuts the listener down.
+pub struct CatalogServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CatalogServer {
+    /// Start serving `catalog` on `addr` (use port 0 for an ephemeral
+    /// port; the bound address is available via [`Self::addr`]).
+    pub fn start(catalog: Arc<MetadataCatalog>, addr: &str) -> std::io::Result<CatalogServer> {
+        let listener = TcpListener::bind(addr)?;
+        let bound = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        // Nonblocking accept loop so `stop` is honored promptly.
+        listener.set_nonblocking(true)?;
+        let accept_thread = std::thread::spawn(move || {
+            loop {
+                if stop2.load(Ordering::Relaxed) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let catalog = catalog.clone();
+                        std::thread::spawn(move || {
+                            let _ = stream.set_nodelay(true);
+                            let _ = serve_connection(stream, &catalog);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(CatalogServer { addr: bound, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections (existing connections finish their
+    /// current request).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for CatalogServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_connection(stream: TcpStream, catalog: &MetadataCatalog) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client hung up
+        }
+        let trimmed = line.trim_end();
+        let (cmd, rest) = match trimmed.split_once(' ') {
+            Some((c, r)) => (c, r),
+            None => (trimmed, ""),
+        };
+        match cmd.to_ascii_uppercase().as_str() {
+            "PING" => writeln!(writer, "OK pong")?,
+            "QUIT" => {
+                writeln!(writer, "OK bye")?;
+                return Ok(());
+            }
+            "INGEST" => {
+                let body = match read_body(&mut reader, rest) {
+                    Ok(b) => b,
+                    Err(msg) => {
+                        writeln!(writer, "ERR {msg}")?;
+                        continue;
+                    }
+                };
+                match catalog.ingest(&body) {
+                    Ok(id) => writeln!(writer, "OK {id}")?,
+                    Err(e) => writeln!(writer, "ERR {}", one_line(&e.to_string()))?,
+                }
+            }
+            "ADD" => {
+                let (id_str, len_str) = match rest.split_once(' ') {
+                    Some(p) => p,
+                    None => {
+                        writeln!(writer, "ERR ADD needs <object-id> <len>")?;
+                        continue;
+                    }
+                };
+                let Ok(id) = id_str.parse::<i64>() else {
+                    writeln!(writer, "ERR bad object id")?;
+                    continue;
+                };
+                let body = match read_body(&mut reader, len_str) {
+                    Ok(b) => b,
+                    Err(msg) => {
+                        writeln!(writer, "ERR {msg}")?;
+                        continue;
+                    }
+                };
+                match catalog.add_attribute(id, &body) {
+                    Ok(()) => writeln!(writer, "OK")?,
+                    Err(e) => writeln!(writer, "ERR {}", one_line(&e.to_string()))?,
+                }
+            }
+            "QUERY" => match parse_query(rest).and_then(|q| catalog.query(&q)) {
+                Ok(ids) => {
+                    let list: Vec<String> = ids.iter().map(|i| i.to_string()).collect();
+                    writeln!(writer, "OK {} {}", ids.len(), list.join(" "))?;
+                }
+                Err(e) => writeln!(writer, "ERR {}", one_line(&e.to_string()))?,
+            },
+            "FETCH" => {
+                let ids: std::result::Result<Vec<i64>, _> =
+                    rest.split(',').filter(|s| !s.is_empty()).map(|s| s.trim().parse::<i64>()).collect();
+                match ids {
+                    Err(_) => writeln!(writer, "ERR bad id list")?,
+                    Ok(ids) => match catalog.fetch_documents(&ids) {
+                        Ok(docs) => {
+                            let mut out = String::new();
+                            out.push_str("<results>");
+                            for (id, doc) in &docs {
+                                out.push_str(&format!("<object id=\"{id}\">"));
+                                out.push_str(doc);
+                                out.push_str("</object>");
+                            }
+                            out.push_str("</results>");
+                            writeln!(writer, "OK {}", out.len())?;
+                            writer.write_all(out.as_bytes())?;
+                        }
+                        Err(e) => writeln!(writer, "ERR {}", one_line(&e.to_string()))?,
+                    },
+                }
+            }
+            "SEARCH" => match parse_query(rest).and_then(|q| catalog.search_envelope(&q)) {
+                Ok(env) => {
+                    writeln!(writer, "OK {}", env.len())?;
+                    writer.write_all(env.as_bytes())?;
+                }
+                Err(e) => writeln!(writer, "ERR {}", one_line(&e.to_string()))?,
+            },
+            "STATS" => {
+                let s = catalog.stats();
+                writeln!(
+                    writer,
+                    "OK objects={} attrs={} elems={} clobs={} clob_bytes={} defs={}",
+                    s.objects,
+                    s.attr_rows,
+                    s.elem_rows,
+                    s.clob_count,
+                    s.clob_bytes,
+                    s.attr_defs + s.elem_defs
+                )?;
+            }
+            other => writeln!(writer, "ERR unknown command {other}")?,
+        }
+        writer.flush()?;
+    }
+}
+
+/// Read a length-prefixed body where `len_str` is the decimal length.
+fn read_body(reader: &mut BufReader<TcpStream>, len_str: &str) -> std::result::Result<String, String> {
+    let len: usize = len_str.trim().parse().map_err(|_| format!("bad length {len_str:?}"))?;
+    if len > MAX_BODY {
+        return Err(format!("body of {len} bytes exceeds the {MAX_BODY}-byte limit"));
+    }
+    let mut buf = vec![0u8; len];
+    reader.read_exact(&mut buf).map_err(|e| format!("short body: {e}"))?;
+    String::from_utf8(buf).map_err(|_| "body is not UTF-8".to_string())
+}
+
+fn one_line(s: &str) -> String {
+    s.replace('\n', " ")
+}

@@ -1,0 +1,20 @@
+//! # mylead-workload — seeded LEAD-shaped corpus and query generators
+//!
+//! The paper's evaluation context is the LEAD grid: metadata documents
+//! describing ARPS/WRF forecast runs, with structural keyword/status
+//! attributes and dynamic model-parameter trees derived from Fortran
+//! namelists. This crate generates that workload synthetically and
+//! reproducibly (fixed seeds) against the Fig-2 schema fixture:
+//!
+//! - [`docgen`] — documents with configurable theme counts, dynamic
+//!   attribute counts, sub-attribute nesting depth, and value ranges;
+//! - [`querygen`] — attribute queries with controlled shape
+//!   (equality / range / nested / conjunctive) and tunable selectivity.
+
+#![warn(missing_docs)]
+
+pub mod docgen;
+pub mod querygen;
+
+pub use docgen::{DocGenerator, WorkloadConfig};
+pub use querygen::{QueryGenerator, QueryShape};

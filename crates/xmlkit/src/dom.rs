@@ -1,0 +1,455 @@
+//! Arena-based XML document object model.
+//!
+//! Nodes live in a flat `Vec` inside [`Document`] and refer to each
+//! other by [`NodeId`] indices. This keeps the tree cache-friendly and
+//! avoids `Rc` cycles; it is the layout recommended for hot tree
+//! traversals (every ingest in every backend parses a document, so this
+//! is shared cost across the whole evaluation).
+
+use crate::error::{ErrorKind, Result, XmlError};
+use crate::tokenizer::{Token, Tokenizer};
+use std::fmt;
+
+/// Index of a node within its [`Document`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Arena slot as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Payload of a node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// An element with a tag name and XML attributes.
+    Element {
+        /// Tag name.
+        name: String,
+        /// XML attributes in document order.
+        attrs: Vec<(String, String)>,
+    },
+    /// Character data (entities already resolved).
+    Text(String),
+}
+
+/// One node in the arena: payload plus tree links.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Element or text payload.
+    pub kind: NodeKind,
+    /// Parent node, `None` only for the root element.
+    pub parent: Option<NodeId>,
+    /// Children in document order (empty for text nodes).
+    pub children: Vec<NodeId>,
+}
+
+impl Node {
+    /// Tag name for elements, `None` for text nodes.
+    pub fn name(&self) -> Option<&str> {
+        match &self.kind {
+            NodeKind::Element { name, .. } => Some(name),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// Text content for text nodes, `None` for elements.
+    pub fn text(&self) -> Option<&str> {
+        match &self.kind {
+            NodeKind::Text(t) => Some(t),
+            NodeKind::Element { .. } => None,
+        }
+    }
+
+    /// Value of the XML attribute `key`, if present.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        match &self.kind {
+            NodeKind::Element { attrs, .. } => {
+                attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+            }
+            NodeKind::Text(_) => None,
+        }
+    }
+}
+
+/// A parsed XML document: a node arena plus the root element id.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl Document {
+    /// Parse a complete document from `src`.
+    ///
+    /// Comments, processing instructions, and the XML declaration are
+    /// discarded; CDATA becomes text; adjacent text runs are merged;
+    /// whitespace-only text between elements is dropped.
+    pub fn parse(src: &str) -> Result<Document> {
+        let mut tok = Tokenizer::new(src);
+        let mut nodes: Vec<Node> = Vec::with_capacity(64);
+        let mut stack: Vec<NodeId> = Vec::with_capacity(16);
+        let mut root: Option<NodeId> = None;
+
+        while let Some(t) = tok.next_token()? {
+            match t {
+                Token::StartTag { name, attrs, self_closing } => {
+                    let id = NodeId(nodes.len() as u32);
+                    let parent = stack.last().copied();
+                    if parent.is_none() {
+                        if root.is_some() {
+                            return Err(XmlError::at(
+                                ErrorKind::BadStructure,
+                                tok.offset(),
+                                "multiple root elements",
+                            ));
+                        }
+                        root = Some(id);
+                    }
+                    nodes.push(Node {
+                        kind: NodeKind::Element {
+                            name: name.to_string(),
+                            attrs: attrs
+                                .into_iter()
+                                .map(|(k, v)| (k.to_string(), v.into_owned()))
+                                .collect(),
+                        },
+                        parent,
+                        children: Vec::new(),
+                    });
+                    if let Some(p) = parent {
+                        nodes[p.index()].children.push(id);
+                    }
+                    if !self_closing {
+                        stack.push(id);
+                    }
+                }
+                Token::EndTag { name } => {
+                    let open = stack.pop().ok_or_else(|| {
+                        XmlError::at(ErrorKind::MismatchedTag, tok.offset(), name.to_string())
+                    })?;
+                    let open_name = nodes[open.index()].name().unwrap_or("");
+                    if open_name != name {
+                        return Err(XmlError::at(
+                            ErrorKind::MismatchedTag,
+                            tok.offset(),
+                            format!("expected </{open_name}>, found </{name}>"),
+                        ));
+                    }
+                }
+                Token::Text(text) => {
+                    let Some(&parent) = stack.last() else {
+                        if text.trim().is_empty() {
+                            continue;
+                        }
+                        return Err(XmlError::at(
+                            ErrorKind::BadStructure,
+                            tok.offset(),
+                            "text outside root element",
+                        ));
+                    };
+                    if text.trim().is_empty() {
+                        continue;
+                    }
+                    push_text(&mut nodes, parent, &text);
+                }
+                Token::CData(text) => {
+                    let Some(&parent) = stack.last() else {
+                        return Err(XmlError::at(
+                            ErrorKind::BadStructure,
+                            tok.offset(),
+                            "CDATA outside root element",
+                        ));
+                    };
+                    push_text(&mut nodes, parent, text);
+                }
+                Token::Comment(_) | Token::ProcessingInstruction { .. } => {}
+            }
+        }
+        if let Some(open) = stack.last() {
+            let name = nodes[open.index()].name().unwrap_or("").to_string();
+            return Err(XmlError::at(ErrorKind::UnexpectedEof, tok.offset(), format!("<{name}> never closed")));
+        }
+        let root = root.ok_or_else(|| XmlError::new(ErrorKind::BadStructure, "no root element"))?;
+        Ok(Document { nodes, root })
+    }
+
+    /// Build an empty document with a root element named `name`.
+    pub fn with_root(name: impl Into<String>) -> Document {
+        Document {
+            nodes: vec![Node {
+                kind: NodeKind::Element { name: name.into(), attrs: Vec::new() },
+                parent: None,
+                children: Vec::new(),
+            }],
+            root: NodeId(0),
+        }
+    }
+
+    /// Root element id.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Borrow a node.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes in the arena.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the arena is empty (never the case for parsed docs).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Append a child element under `parent`; returns the new node id.
+    pub fn add_element(&mut self, parent: NodeId, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind: NodeKind::Element { name: name.into(), attrs: Vec::new() },
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Append a text child under `parent`; returns the new node id.
+    pub fn add_text(&mut self, parent: NodeId, text: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind: NodeKind::Text(text.into()),
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Set (or replace) an XML attribute on an element node.
+    pub fn set_attr(&mut self, id: NodeId, key: impl Into<String>, value: impl Into<String>) {
+        if let NodeKind::Element { attrs, .. } = &mut self.nodes[id.index()].kind {
+            let key = key.into();
+            if let Some(slot) = attrs.iter_mut().find(|(k, _)| *k == key) {
+                slot.1 = value.into();
+            } else {
+                attrs.push((key, value.into()));
+            }
+        }
+    }
+
+    /// Child *element* ids of `id`, in document order.
+    pub fn child_elements(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.node(id)
+            .children
+            .iter()
+            .copied()
+            .filter(move |c| matches!(self.node(*c).kind, NodeKind::Element { .. }))
+    }
+
+    /// First child element with tag `name`.
+    pub fn child_named(&self, id: NodeId, name: &str) -> Option<NodeId> {
+        self.child_elements(id).find(|c| self.node(*c).name() == Some(name))
+    }
+
+    /// All child elements with tag `name`.
+    pub fn children_named<'a>(&'a self, id: NodeId, name: &'a str) -> impl Iterator<Item = NodeId> + 'a {
+        self.child_elements(id).filter(move |c| self.node(*c).name() == Some(name))
+    }
+
+    /// Concatenated text of all *direct* text children of `id`.
+    pub fn direct_text(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        for &c in &self.node(id).children {
+            if let NodeKind::Text(t) = &self.node(c).kind {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Concatenated text of the whole subtree under `id` (document order).
+    pub fn deep_text(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        let mut stack = vec![id];
+        // Depth-first, pushing children reversed to visit in order.
+        while let Some(n) = stack.pop() {
+            match &self.node(n).kind {
+                NodeKind::Text(t) => out.push_str(t),
+                NodeKind::Element { .. } => {
+                    for &c in self.node(n).children.iter().rev() {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Pre-order traversal of element ids starting at `id`.
+    pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
+        Descendants { doc: self, stack: vec![id] }
+    }
+
+    /// Number of edges from the root to `id`.
+    pub fn depth_of(&self, id: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.node(cur).parent {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Path of tag names from root to `id` (inclusive), for diagnostics.
+    pub fn path_of(&self, id: NodeId) -> String {
+        let mut parts = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            if let Some(n) = self.node(c).name() {
+                parts.push(n.to_string());
+            }
+            cur = self.node(c).parent;
+        }
+        parts.reverse();
+        format!("/{}", parts.join("/"))
+    }
+}
+
+fn push_text(nodes: &mut Vec<Node>, parent: NodeId, text: &str) {
+    // Merge with a preceding text sibling so entity-split runs become
+    // one node.
+    if let Some(&last) = nodes[parent.index()].children.last() {
+        if let NodeKind::Text(existing) = &mut nodes[last.index()].kind {
+            existing.push_str(text);
+            return;
+        }
+    }
+    let id = NodeId(nodes.len() as u32);
+    nodes.push(Node { kind: NodeKind::Text(text.to_string()), parent: Some(parent), children: Vec::new() });
+    nodes[parent.index()].children.push(id);
+}
+
+/// Iterator over a subtree's element nodes in pre-order.
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    stack: Vec<NodeId>,
+}
+
+impl<'a> Iterator for Descendants<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            let id = self.stack.pop()?;
+            let node = self.doc.node(id);
+            for &c in node.children.iter().rev() {
+                self.stack.push(c);
+            }
+            if matches!(node.kind, NodeKind::Element { .. }) {
+                return Some(id);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::writer::to_string(self, self.root()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "<a><b>one</b><c k=\"v\"><b>two</b></c>tail</a>";
+
+    #[test]
+    fn parse_structure() {
+        let d = Document::parse(DOC).unwrap();
+        let root = d.root();
+        assert_eq!(d.node(root).name(), Some("a"));
+        let kids: Vec<_> = d.child_elements(root).collect();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(d.node(kids[0]).name(), Some("b"));
+        assert_eq!(d.direct_text(kids[0]), "one");
+        assert_eq!(d.node(kids[1]).attr("k"), Some("v"));
+    }
+
+    #[test]
+    fn deep_text_in_order() {
+        let d = Document::parse(DOC).unwrap();
+        assert_eq!(d.deep_text(d.root()), "onetwotail");
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let d = Document::parse(DOC).unwrap();
+        let names: Vec<_> = d.descendants(d.root()).map(|n| d.node(n).name().unwrap().to_string()).collect();
+        assert_eq!(names, vec!["a", "b", "c", "b"]);
+    }
+
+    #[test]
+    fn children_named_filters() {
+        let d = Document::parse("<r><x/><y/><x/></r>").unwrap();
+        assert_eq!(d.children_named(d.root(), "x").count(), 2);
+        assert_eq!(d.child_named(d.root(), "y").is_some(), true);
+        assert!(d.child_named(d.root(), "z").is_none());
+    }
+
+    #[test]
+    fn mismatched_close_rejected() {
+        assert!(Document::parse("<a><b></a></b>").is_err());
+    }
+
+    #[test]
+    fn multiple_roots_rejected() {
+        assert!(Document::parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn unclosed_root_rejected() {
+        assert!(Document::parse("<a><b></b>").is_err());
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut d = Document::with_root("r");
+        let c = d.add_element(d.root(), "c");
+        d.add_text(c, "42");
+        d.set_attr(c, "u", "m");
+        assert_eq!(d.to_string(), r#"<r><c u="m">42</c></r>"#);
+    }
+
+    #[test]
+    fn whitespace_between_elements_dropped() {
+        let d = Document::parse("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        assert_eq!(d.node(d.root()).children.len(), 2);
+    }
+
+    #[test]
+    fn cdata_merges_with_text() {
+        let d = Document::parse("<a>x<![CDATA[<&>]]>y</a>").unwrap();
+        assert_eq!(d.direct_text(d.root()), "x<&>y");
+    }
+
+    #[test]
+    fn path_and_depth() {
+        let d = Document::parse(DOC).unwrap();
+        let c = d.child_named(d.root(), "c").unwrap();
+        let b2 = d.child_named(c, "b").unwrap();
+        assert_eq!(d.path_of(b2), "/a/c/b");
+        assert_eq!(d.depth_of(b2), 2);
+    }
+}

@@ -1,0 +1,33 @@
+//! # xmlkit — minimal XML substrate for the metadata catalog
+//!
+//! A self-contained XML stack: pull [`tokenizer`], arena [`dom`],
+//! [`writer`] (compact + pretty serialization), a catalog-oriented
+//! [`schema`] model (cardinality, recursion points, leaf value types),
+//! and an [`xpath`] subset used by the comparison baselines.
+//!
+//! The design goal is *shared ingest cost*: every storage backend in the
+//! evaluation parses documents through the same tokenizer and DOM, so
+//! measured differences come from the storage architecture, not the
+//! parser.
+//!
+//! ```
+//! use xmlkit::dom::Document;
+//! use xmlkit::xpath::Path;
+//!
+//! let doc = Document::parse("<theme><kt>CF</kt><key>rain</key></theme>").unwrap();
+//! let hits = Path::parse("/theme[kt='CF']/key").unwrap().eval(&doc);
+//! assert_eq!(doc.deep_text(hits[0]), "rain");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dom;
+pub mod error;
+pub mod schema;
+pub mod tokenizer;
+pub mod writer;
+pub mod xpath;
+
+pub use dom::{Document, Node, NodeId, NodeKind};
+pub use error::{ErrorKind, Result, XmlError};
+pub use schema::{Cardinality, ChildRef, Schema, SchemaBuilder, SchemaNode, SchemaNodeId, ValueType};

@@ -1,0 +1,450 @@
+//! Pull-based XML tokenizer.
+//!
+//! The tokenizer walks a `&str` once and yields [`Token`]s without
+//! building any tree. It supports the XML subset needed by a metadata
+//! catalog: elements, attributes, character data, CDATA sections,
+//! comments, processing instructions, the XML declaration, and the five
+//! predefined entities plus numeric character references.
+//!
+//! It is deliberately *not* a validating parser — DTDs and external
+//! entities are rejected rather than fetched, which also closes the
+//! classic XXE hole.
+
+use crate::error::{ErrorKind, Result, XmlError};
+use std::borrow::Cow;
+
+/// One lexical event pulled from the input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token<'a> {
+    /// `<name attr="v" ...>`; `self_closing` is true for `<name/>`.
+    StartTag {
+        /// Tag name.
+        name: &'a str,
+        /// Attributes with entity-resolved values.
+        attrs: Vec<(&'a str, Cow<'a, str>)>,
+        /// True for `<name/>`.
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndTag {
+        /// Tag name.
+        name: &'a str,
+    },
+    /// Character data between tags, with entities resolved.
+    Text(Cow<'a, str>),
+    /// `<![CDATA[...]]>` contents, verbatim.
+    CData(&'a str),
+    /// `<!-- ... -->` contents.
+    Comment(&'a str),
+    /// `<?target data?>` (including the XML declaration).
+    ProcessingInstruction {
+        /// PI target (e.g. `xml`).
+        target: &'a str,
+        /// Remaining PI data.
+        data: &'a str,
+    },
+}
+
+/// Streaming tokenizer over a string slice.
+///
+/// ```
+/// use xmlkit::tokenizer::{Tokenizer, Token};
+/// let mut t = Tokenizer::new("<a x='1'>hi</a>");
+/// assert!(matches!(t.next_token().unwrap(), Some(Token::StartTag { name: "a", .. })));
+/// ```
+pub struct Tokenizer<'a> {
+    src: &'a str,
+    pos: usize,
+    /// Stack of open element names, used to detect mismatched end tags
+    /// early (full balancing is re-checked by the DOM builder).
+    depth: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Create a tokenizer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Tokenizer { src, pos: 0, depth: 0 }
+    }
+
+    /// Current byte offset into the input.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Current element nesting depth (starts at 0).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn err(&self, kind: ErrorKind, detail: impl Into<String>) -> XmlError {
+        XmlError::at(kind, self.pos, detail)
+    }
+
+    /// Pull the next token, or `None` at end of input.
+    pub fn next_token(&mut self) -> Result<Option<Token<'a>>> {
+        if self.pos >= self.src.len() {
+            return Ok(None);
+        }
+        let rest = self.rest();
+        if let Some(after) = rest.strip_prefix('<') {
+            if after.starts_with("!--") {
+                return self.comment().map(Some);
+            }
+            if after.starts_with("![CDATA[") {
+                return self.cdata().map(Some);
+            }
+            if after.starts_with('!') {
+                // DOCTYPE and friends: skip to the matching '>' but do
+                // not process internal subsets with nested brackets.
+                return self.doctype().map(Some);
+            }
+            if after.starts_with('?') {
+                return self.processing_instruction().map(Some);
+            }
+            if after.starts_with('/') {
+                return self.end_tag().map(Some);
+            }
+            return self.start_tag().map(Some);
+        }
+        self.text().map(Some)
+    }
+
+    fn comment(&mut self) -> Result<Token<'a>> {
+        // self.rest() starts with "<!--"
+        let body_start = self.pos + 4;
+        match self.src[body_start..].find("-->") {
+            Some(end) => {
+                let body = &self.src[body_start..body_start + end];
+                self.pos = body_start + end + 3;
+                Ok(Token::Comment(body))
+            }
+            None => Err(self.err(ErrorKind::UnexpectedEof, "unterminated comment")),
+        }
+    }
+
+    fn cdata(&mut self) -> Result<Token<'a>> {
+        let body_start = self.pos + "<![CDATA[".len();
+        match self.src[body_start..].find("]]>") {
+            Some(end) => {
+                let body = &self.src[body_start..body_start + end];
+                self.pos = body_start + end + 3;
+                Ok(Token::CData(body))
+            }
+            None => Err(self.err(ErrorKind::UnexpectedEof, "unterminated CDATA section")),
+        }
+    }
+
+    fn doctype(&mut self) -> Result<Token<'a>> {
+        // Treat `<!DOCTYPE ...>` as a processing instruction-like event
+        // so callers can ignore it; internal subsets are rejected.
+        let start = self.pos;
+        let rest = self.rest();
+        if rest.contains('[') && rest.find('[').unwrap() < rest.find('>').unwrap_or(usize::MAX) {
+            return Err(self.err(ErrorKind::Malformed, "DTD internal subsets are not supported"));
+        }
+        match rest.find('>') {
+            Some(end) => {
+                let body = &self.src[start + 2..start + end];
+                self.pos = start + end + 1;
+                Ok(Token::ProcessingInstruction { target: "DOCTYPE", data: body })
+            }
+            None => Err(self.err(ErrorKind::UnexpectedEof, "unterminated DOCTYPE")),
+        }
+    }
+
+    fn processing_instruction(&mut self) -> Result<Token<'a>> {
+        let body_start = self.pos + 2;
+        match self.src[body_start..].find("?>") {
+            Some(end) => {
+                let body = &self.src[body_start..body_start + end];
+                self.pos = body_start + end + 2;
+                let (target, data) = match body.find(|c: char| c.is_ascii_whitespace()) {
+                    Some(sp) => (&body[..sp], body[sp..].trim_start()),
+                    None => (body, ""),
+                };
+                if target.is_empty() {
+                    return Err(self.err(ErrorKind::Malformed, "processing instruction with empty target"));
+                }
+                Ok(Token::ProcessingInstruction { target, data })
+            }
+            None => Err(self.err(ErrorKind::UnexpectedEof, "unterminated processing instruction")),
+        }
+    }
+
+    fn end_tag(&mut self) -> Result<Token<'a>> {
+        let name_start = self.pos + 2;
+        let rest = &self.src[name_start..];
+        let name_len = name_length(rest);
+        if name_len == 0 {
+            return Err(self.err(ErrorKind::Malformed, "empty end tag name"));
+        }
+        let name = &rest[..name_len];
+        let mut idx = name_start + name_len;
+        while self.src[idx..].starts_with(|c: char| c.is_ascii_whitespace()) {
+            idx += 1;
+        }
+        if !self.src[idx..].starts_with('>') {
+            return Err(XmlError::at(ErrorKind::Malformed, idx, format!("junk in end tag </{name}")));
+        }
+        self.pos = idx + 1;
+        if self.depth == 0 {
+            return Err(self.err(ErrorKind::MismatchedTag, format!("end tag </{name}> with no open element")));
+        }
+        self.depth -= 1;
+        Ok(Token::EndTag { name })
+    }
+
+    fn start_tag(&mut self) -> Result<Token<'a>> {
+        let name_start = self.pos + 1;
+        let rest = &self.src[name_start..];
+        let name_len = name_length(rest);
+        if name_len == 0 {
+            return Err(self.err(ErrorKind::Malformed, "empty start tag name"));
+        }
+        let name = &rest[..name_len];
+        let mut idx = name_start + name_len;
+        let mut attrs: Vec<(&'a str, Cow<'a, str>)> = Vec::new();
+        loop {
+            while self.src[idx..].starts_with(|c: char| c.is_ascii_whitespace()) {
+                idx += 1;
+            }
+            let tail = &self.src[idx..];
+            if tail.starts_with("/>") {
+                self.pos = idx + 2;
+                return Ok(Token::StartTag { name, attrs, self_closing: true });
+            }
+            if tail.starts_with('>') {
+                self.pos = idx + 1;
+                self.depth += 1;
+                return Ok(Token::StartTag { name, attrs, self_closing: false });
+            }
+            if tail.is_empty() {
+                return Err(XmlError::at(ErrorKind::UnexpectedEof, idx, format!("unterminated start tag <{name}")));
+            }
+            // attribute
+            let alen = name_length(tail);
+            if alen == 0 {
+                return Err(XmlError::at(ErrorKind::Malformed, idx, format!("bad attribute in <{name}>")));
+            }
+            let aname = &tail[..alen];
+            idx += alen;
+            while self.src[idx..].starts_with(|c: char| c.is_ascii_whitespace()) {
+                idx += 1;
+            }
+            if !self.src[idx..].starts_with('=') {
+                return Err(XmlError::at(ErrorKind::Malformed, idx, format!("attribute {aname} missing '='")));
+            }
+            idx += 1;
+            while self.src[idx..].starts_with(|c: char| c.is_ascii_whitespace()) {
+                idx += 1;
+            }
+            let quote = match self.src[idx..].chars().next() {
+                Some(q @ ('"' | '\'')) => q,
+                _ => {
+                    return Err(XmlError::at(ErrorKind::Malformed, idx, format!("attribute {aname} value must be quoted")));
+                }
+            };
+            idx += 1;
+            let vstart = idx;
+            let vend = match self.src[vstart..].find(quote) {
+                Some(e) => vstart + e,
+                None => {
+                    return Err(XmlError::at(ErrorKind::UnexpectedEof, idx, format!("unterminated value for attribute {aname}")));
+                }
+            };
+            let raw = &self.src[vstart..vend];
+            let value = unescape(raw, vstart)?;
+            attrs.push((aname, value));
+            idx = vend + 1;
+        }
+    }
+
+    fn text(&mut self) -> Result<Token<'a>> {
+        let start = self.pos;
+        let end = match self.rest().find('<') {
+            Some(e) => start + e,
+            None => self.src.len(),
+        };
+        let raw = &self.src[start..end];
+        self.pos = end;
+        let text = unescape(raw, start)?;
+        Ok(Token::Text(text))
+    }
+}
+
+/// Length in bytes of an XML name prefix of `s` (letters, digits, and
+/// `_ - . :`, not starting with a digit/`-`/`.`).
+fn name_length(s: &str) -> usize {
+    let mut len = 0;
+    for (i, c) in s.char_indices() {
+        let ok = c.is_alphanumeric() || c == '_' || c == '-' || c == '.' || c == ':';
+        if !ok {
+            break;
+        }
+        if i == 0 && (c.is_ascii_digit() || c == '-' || c == '.') {
+            break;
+        }
+        len = i + c.len_utf8();
+    }
+    len
+}
+
+/// Resolve entity and character references in `raw`.
+///
+/// Returns `Cow::Borrowed` when the input contains no references, which
+/// is the common case on the ingest hot path.
+pub fn unescape(raw: &str, base_offset: usize) -> Result<Cow<'_, str>> {
+    let Some(first) = raw.find('&') else {
+        return Ok(Cow::Borrowed(raw));
+    };
+    let mut out = String::with_capacity(raw.len());
+    out.push_str(&raw[..first]);
+    let mut rest = &raw[first..];
+    let mut off = base_offset + first;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        off += amp;
+        rest = &rest[amp..];
+        let semi = rest.find(';').ok_or_else(|| {
+            XmlError::at(ErrorKind::UnknownEntity, off, "unterminated entity reference")
+        })?;
+        let ent = &rest[1..semi];
+        match ent {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                let code = u32::from_str_radix(&ent[2..], 16).map_err(|_| {
+                    XmlError::at(ErrorKind::UnknownEntity, off, format!("bad character reference &{ent};"))
+                })?;
+                out.push(char::from_u32(code).ok_or_else(|| {
+                    XmlError::at(ErrorKind::UnknownEntity, off, format!("invalid code point &{ent};"))
+                })?);
+            }
+            _ if ent.starts_with('#') => {
+                let code: u32 = ent[1..].parse().map_err(|_| {
+                    XmlError::at(ErrorKind::UnknownEntity, off, format!("bad character reference &{ent};"))
+                })?;
+                out.push(char::from_u32(code).ok_or_else(|| {
+                    XmlError::at(ErrorKind::UnknownEntity, off, format!("invalid code point &{ent};"))
+                })?);
+            }
+            _ => {
+                return Err(XmlError::at(ErrorKind::UnknownEntity, off, format!("&{ent};")));
+            }
+        }
+        rest = &rest[semi + 1..];
+        off += semi + 1;
+    }
+    out.push_str(rest);
+    Ok(Cow::Owned(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all(src: &str) -> Vec<Token<'_>> {
+        let mut t = Tokenizer::new(src);
+        let mut v = Vec::new();
+        while let Some(tok) = t.next_token().unwrap() {
+            v.push(tok);
+        }
+        v
+    }
+
+    #[test]
+    fn simple_element() {
+        let toks = all("<a>hi</a>");
+        assert_eq!(toks.len(), 3);
+        assert!(matches!(&toks[0], Token::StartTag { name: "a", self_closing: false, .. }));
+        assert_eq!(toks[1], Token::Text(Cow::Borrowed("hi")));
+        assert_eq!(toks[2], Token::EndTag { name: "a" });
+    }
+
+    #[test]
+    fn self_closing_with_attrs() {
+        let toks = all(r#"<node id="42" name='x y'/>"#);
+        match &toks[0] {
+            Token::StartTag { name, attrs, self_closing } => {
+                assert_eq!(*name, "node");
+                assert!(*self_closing);
+                assert_eq!(attrs[0], ("id", Cow::Borrowed("42")));
+                assert_eq!(attrs[1], ("name", Cow::Borrowed("x y")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn entities_in_text_and_attrs() {
+        let toks = all(r#"<a t="&lt;&amp;&gt;">1 &lt; 2 &#65;&#x42;</a>"#);
+        match &toks[0] {
+            Token::StartTag { attrs, .. } => assert_eq!(attrs[0].1, "<&>"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(toks[1], Token::Text(Cow::Owned("1 < 2 AB".to_string())));
+    }
+
+    #[test]
+    fn cdata_and_comment_and_pi() {
+        let toks = all("<?xml version=\"1.0\"?><a><!-- c --><![CDATA[<raw&>]]></a>");
+        assert!(matches!(toks[0], Token::ProcessingInstruction { target: "xml", .. }));
+        assert!(matches!(toks[1], Token::StartTag { name: "a", .. }));
+        assert_eq!(toks[2], Token::Comment(" c "));
+        assert_eq!(toks[3], Token::CData("<raw&>"));
+    }
+
+    #[test]
+    fn unknown_entity_rejected() {
+        let mut t = Tokenizer::new("<a>&nope;</a>");
+        t.next_token().unwrap();
+        let err = t.next_token().unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnknownEntity);
+    }
+
+    #[test]
+    fn unterminated_tag_rejected() {
+        let mut t = Tokenizer::new("<a foo=");
+        let err = t.next_token().unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Malformed);
+    }
+
+    #[test]
+    fn stray_end_tag_rejected() {
+        let mut t = Tokenizer::new("</a>");
+        let err = t.next_token().unwrap_err();
+        assert_eq!(err.kind, ErrorKind::MismatchedTag);
+    }
+
+    #[test]
+    fn doctype_skipped_but_internal_subset_rejected() {
+        let toks = all("<!DOCTYPE html><a/>");
+        assert!(matches!(toks[0], Token::ProcessingInstruction { target: "DOCTYPE", .. }));
+        let mut t = Tokenizer::new("<!DOCTYPE x [<!ENTITY e 'v'>]><a/>");
+        assert!(t.next_token().is_err());
+    }
+
+    #[test]
+    fn whitespace_in_end_tag_ok() {
+        let toks = all("<a>x</a >");
+        assert_eq!(toks[2], Token::EndTag { name: "a" });
+    }
+
+    #[test]
+    fn unescape_borrows_when_clean() {
+        assert!(matches!(unescape("plain text", 0).unwrap(), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn names_with_punctuation() {
+        let toks = all("<ns:tag-1._x/>");
+        assert!(matches!(toks[0], Token::StartTag { name: "ns:tag-1._x", .. }));
+    }
+}

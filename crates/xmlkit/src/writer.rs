@@ -1,0 +1,172 @@
+//! XML serialization.
+//!
+//! Two modes: compact (canonical, used for CLOB storage so byte-level
+//! comparisons are stable) and pretty (two-space indent, used by the
+//! example binaries). Escaping follows the XML 1.0 rules for character
+//! data and double-quoted attribute values.
+
+use crate::dom::{Document, NodeId, NodeKind};
+
+/// Escape `s` for use as element character data.
+pub fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Escape `s` for use inside a double-quoted attribute value.
+pub fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Serialize the subtree rooted at `id` compactly into `out`.
+pub fn write_subtree(doc: &Document, id: NodeId, out: &mut String) {
+    match &doc.node(id).kind {
+        NodeKind::Text(t) => escape_text(t, out),
+        NodeKind::Element { name, attrs } => {
+            out.push('<');
+            out.push_str(name);
+            for (k, v) in attrs {
+                out.push(' ');
+                out.push_str(k);
+                out.push_str("=\"");
+                escape_attr(v, out);
+                out.push('"');
+            }
+            let children = &doc.node(id).children;
+            if children.is_empty() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for &c in children {
+                    write_subtree(doc, c, out);
+                }
+                out.push_str("</");
+                out.push_str(name);
+                out.push('>');
+            }
+        }
+    }
+}
+
+/// Serialize the subtree rooted at `id` compactly into a fresh string.
+pub fn to_string(doc: &Document, id: NodeId) -> String {
+    let mut out = String::with_capacity(256);
+    write_subtree(doc, id, &mut out);
+    out
+}
+
+/// Serialize the subtree rooted at `id` with two-space indentation.
+pub fn to_pretty_string(doc: &Document, id: NodeId) -> String {
+    let mut out = String::with_capacity(512);
+    pretty(doc, id, 0, &mut out);
+    out
+}
+
+fn pretty(doc: &Document, id: NodeId, depth: usize, out: &mut String) {
+    let indent = |out: &mut String, d: usize| {
+        for _ in 0..d {
+            out.push_str("  ");
+        }
+    };
+    match &doc.node(id).kind {
+        NodeKind::Text(t) => {
+            indent(out, depth);
+            escape_text(t, out);
+            out.push('\n');
+        }
+        NodeKind::Element { name, attrs } => {
+            indent(out, depth);
+            out.push('<');
+            out.push_str(name);
+            for (k, v) in attrs {
+                out.push(' ');
+                out.push_str(k);
+                out.push_str("=\"");
+                escape_attr(v, out);
+                out.push('"');
+            }
+            let children = &doc.node(id).children;
+            if children.is_empty() {
+                out.push_str("/>\n");
+            } else if children.len() == 1 {
+                if let NodeKind::Text(t) = &doc.node(children[0]).kind {
+                    // <x>text</x> on one line
+                    out.push('>');
+                    escape_text(t, out);
+                    out.push_str("</");
+                    out.push_str(name);
+                    out.push_str(">\n");
+                    return;
+                }
+                out.push_str(">\n");
+                pretty(doc, children[0], depth + 1, out);
+                indent(out, depth);
+                out.push_str("</");
+                out.push_str(name);
+                out.push_str(">\n");
+            } else {
+                out.push_str(">\n");
+                for &c in children {
+                    pretty(doc, c, depth + 1, out);
+                }
+                indent(out, depth);
+                out.push_str("</");
+                out.push_str(name);
+                out.push_str(">\n");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Document;
+
+    #[test]
+    fn roundtrip_compact() {
+        let src = r#"<a x="1&amp;2"><b>v &lt; w</b><c/></a>"#;
+        let doc = Document::parse(src).unwrap();
+        assert_eq!(to_string(&doc, doc.root()), src);
+    }
+
+    #[test]
+    fn escape_rules() {
+        let mut s = String::new();
+        escape_text("<&>\"'", &mut s);
+        assert_eq!(s, "&lt;&amp;&gt;\"'");
+        let mut a = String::new();
+        escape_attr("<&>\"'", &mut a);
+        assert_eq!(a, "&lt;&amp;&gt;&quot;'");
+    }
+
+    #[test]
+    fn pretty_single_text_child_inline() {
+        let doc = Document::parse("<a><b>v</b></a>").unwrap();
+        let p = to_pretty_string(&doc, doc.root());
+        assert_eq!(p, "<a>\n  <b>v</b>\n</a>\n");
+    }
+
+    #[test]
+    fn reparse_pretty_equals_original() {
+        let src = "<r><k><t>CF</t><v>x</v></k><k><t>CF</t></k></r>";
+        let doc = Document::parse(src).unwrap();
+        let pretty = to_pretty_string(&doc, doc.root());
+        let reparsed = Document::parse(&pretty).unwrap();
+        assert_eq!(to_string(&reparsed, reparsed.root()), src);
+    }
+}

@@ -1,0 +1,466 @@
+//! XPath-lite: the path subset the baselines need.
+//!
+//! Supported grammar:
+//!
+//! ```text
+//! path      := ('/' | '//')? step (('/' | '//') step)*
+//! step      := (NAME | '*') predicate*
+//! predicate := '[' operand (op literal)? ']'
+//! operand   := '.' | '@'NAME | NAME ('/' NAME)*
+//! op        := '=' | '!=' | '<' | '<=' | '>' | '>='
+//! literal   := 'str' | "str" | number
+//! ```
+//!
+//! Comparisons are numeric when both sides parse as numbers, otherwise
+//! string equality/ordering — the same coercion the catalog's typed
+//! elements use, so the CLOB baseline answers queries identically.
+
+use crate::dom::{Document, NodeId};
+use crate::error::{ErrorKind, Result, XmlError};
+
+/// Comparison operator inside a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn holds(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// What a predicate compares.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// `.` — the node's own text content.
+    SelfText,
+    /// `@name` — an XML attribute value.
+    Attr(String),
+    /// `a/b/c` — text of a descendant reached by child steps.
+    ChildPath(Vec<String>),
+}
+
+/// `[operand]` (existence) or `[operand op literal]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Left-hand side.
+    pub operand: Operand,
+    /// Comparison, `None` for bare existence tests.
+    pub cmp: Option<(CmpOp, String)>,
+}
+
+/// How a step walks from the current node set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// `/` — direct children.
+    Child,
+    /// `//` — all descendants (and self for the leading `//`).
+    Descendant,
+}
+
+/// One location step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Child or descendant axis.
+    pub axis: Axis,
+    /// Tag name, or `None` for `*`.
+    pub name: Option<String>,
+    /// Conjunctive predicates.
+    pub predicates: Vec<Predicate>,
+}
+
+/// A parsed path expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Steps in order.
+    pub steps: Vec<Step>,
+}
+
+impl Path {
+    /// Parse a path expression.
+    pub fn parse(src: &str) -> Result<Path> {
+        Parser { src, pos: 0 }.parse()
+    }
+
+    /// Evaluate against `doc` starting at the root element.
+    ///
+    /// The first step matches the root itself (as in `/LEADresource/...`);
+    /// a leading `//` matches any element.
+    pub fn eval(&self, doc: &Document) -> Vec<NodeId> {
+        let mut current: Vec<NodeId> = Vec::new();
+        for (i, step) in self.steps.iter().enumerate() {
+            let mut next: Vec<NodeId> = Vec::new();
+            if i == 0 {
+                match step.axis {
+                    Axis::Child => {
+                        if name_matches(doc, doc.root(), step.name.as_deref()) {
+                            next.push(doc.root());
+                        }
+                    }
+                    Axis::Descendant => {
+                        for n in doc.descendants(doc.root()) {
+                            if name_matches(doc, n, step.name.as_deref()) {
+                                next.push(n);
+                            }
+                        }
+                    }
+                }
+            } else {
+                for &node in &current {
+                    match step.axis {
+                        Axis::Child => {
+                            for c in doc.child_elements(node) {
+                                if name_matches(doc, c, step.name.as_deref()) {
+                                    next.push(c);
+                                }
+                            }
+                        }
+                        Axis::Descendant => {
+                            for d in doc.descendants(node) {
+                                if d != node && name_matches(doc, d, step.name.as_deref()) {
+                                    next.push(d);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            next.retain(|&n| step.predicates.iter().all(|p| predicate_holds(doc, n, p)));
+            next.sort_unstable();
+            next.dedup();
+            current = next;
+            if current.is_empty() {
+                break;
+            }
+        }
+        current
+    }
+}
+
+fn name_matches(doc: &Document, id: NodeId, name: Option<&str>) -> bool {
+    match name {
+        None => doc.node(id).name().is_some(),
+        Some(n) => doc.node(id).name() == Some(n),
+    }
+}
+
+fn operand_values(doc: &Document, id: NodeId, op: &Operand) -> Vec<String> {
+    match op {
+        Operand::SelfText => vec![doc.deep_text(id)],
+        Operand::Attr(a) => doc.node(id).attr(a).map(|v| vec![v.to_string()]).unwrap_or_default(),
+        Operand::ChildPath(path) => {
+            let mut set = vec![id];
+            for name in path {
+                let mut next = Vec::new();
+                for &n in &set {
+                    next.extend(doc.children_named(n, name));
+                }
+                set = next;
+                if set.is_empty() {
+                    break;
+                }
+            }
+            set.into_iter().map(|n| doc.deep_text(n)).collect()
+        }
+    }
+}
+
+/// Compare `lhs` to `rhs` numerically when both parse, else as strings.
+pub fn coerced_cmp(lhs: &str, rhs: &str) -> std::cmp::Ordering {
+    if let (Ok(a), Ok(b)) = (lhs.trim().parse::<f64>(), rhs.trim().parse::<f64>()) {
+        return a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal);
+    }
+    lhs.cmp(rhs)
+}
+
+fn predicate_holds(doc: &Document, id: NodeId, pred: &Predicate) -> bool {
+    let values = operand_values(doc, id, &pred.operand);
+    match &pred.cmp {
+        None => !values.is_empty(),
+        Some((op, lit)) => values.iter().any(|v| op.holds(coerced_cmp(v, lit))),
+    }
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(mut self) -> Result<Path> {
+        let mut steps = Vec::new();
+        let mut axis = Axis::Child;
+        if self.eat("//") {
+            axis = Axis::Descendant;
+        } else {
+            self.eat("/");
+        }
+        loop {
+            steps.push(self.step(axis)?);
+            if self.eat("//") {
+                axis = Axis::Descendant;
+            } else if self.eat("/") {
+                axis = Axis::Child;
+            } else {
+                break;
+            }
+        }
+        self.skip_ws();
+        if self.pos != self.src.len() {
+            return Err(XmlError::at(ErrorKind::BadPath, self.pos, "trailing input"));
+        }
+        Ok(Path { steps })
+    }
+
+    fn step(&mut self, axis: Axis) -> Result<Step> {
+        self.skip_ws();
+        let name = if self.eat("*") {
+            None
+        } else {
+            let n = self.name()?;
+            Some(n)
+        };
+        let mut predicates = Vec::new();
+        loop {
+            self.skip_ws();
+            if !self.eat("[") {
+                break;
+            }
+            predicates.push(self.predicate()?);
+            self.skip_ws();
+            if !self.eat("]") {
+                return Err(XmlError::at(ErrorKind::BadPath, self.pos, "expected ']'"));
+            }
+        }
+        Ok(Step { axis, name, predicates })
+    }
+
+    fn predicate(&mut self) -> Result<Predicate> {
+        self.skip_ws();
+        let operand = if self.eat("@") {
+            Operand::Attr(self.name()?)
+        } else if self.eat(".") {
+            Operand::SelfText
+        } else {
+            let mut parts = vec![self.name()?];
+            while self.peek_str().starts_with('/') {
+                self.pos += 1;
+                parts.push(self.name()?);
+            }
+            Operand::ChildPath(parts)
+        };
+        self.skip_ws();
+        let cmp = if self.eat("!=") {
+            Some(CmpOp::Ne)
+        } else if self.eat("<=") {
+            Some(CmpOp::Le)
+        } else if self.eat(">=") {
+            Some(CmpOp::Ge)
+        } else if self.eat("=") {
+            Some(CmpOp::Eq)
+        } else if self.eat("<") {
+            Some(CmpOp::Lt)
+        } else if self.eat(">") {
+            Some(CmpOp::Gt)
+        } else {
+            None
+        };
+        let cmp = match cmp {
+            None => None,
+            Some(op) => {
+                self.skip_ws();
+                Some((op, self.literal()?))
+            }
+        };
+        Ok(Predicate { operand, cmp })
+    }
+
+    fn literal(&mut self) -> Result<String> {
+        self.skip_ws();
+        match self.peek_str().chars().next() {
+            Some(q @ ('\'' | '"')) => {
+                self.pos += 1;
+                let start = self.pos;
+                let end = self.src[start..]
+                    .find(q)
+                    .ok_or_else(|| XmlError::at(ErrorKind::BadPath, start, "unterminated string literal"))?;
+                let lit = self.src[start..start + end].to_string();
+                self.pos = start + end + 1;
+                Ok(lit)
+            }
+            Some(c) if c.is_ascii_digit() || c == '-' || c == '+' || c == '.' => {
+                let start = self.pos;
+                self.pos += 1;
+                while let Some(c2) = self.peek_str().chars().next() {
+                    if c2.is_ascii_digit() || c2 == '.' || c2 == 'e' || c2 == 'E' || c2 == '-' || c2 == '+' {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Ok(self.src[start..self.pos].to_string())
+            }
+            _ => Err(XmlError::at(ErrorKind::BadPath, self.pos, "expected literal")),
+        }
+    }
+
+    fn name(&mut self) -> Result<String> {
+        self.skip_ws();
+        let start = self.pos;
+        for c in self.peek_str().chars() {
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' || c == ':' {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(XmlError::at(ErrorKind::BadPath, self.pos, "expected name"));
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    fn peek_str(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        if self.peek_str().starts_with(tok) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek_str().starts_with(|c: char| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Document;
+
+    const DOC: &str = concat!(
+        "<r>",
+        "<theme><kt>CF</kt><key>rain</key><key>snow</key></theme>",
+        "<theme><kt>GCMD</kt><key>wind</key></theme>",
+        "<detailed><attr><lbl>dx</lbl><v>1000</v></attr>",
+        "<attr><lbl>stretch</lbl><attr><lbl>dzmin</lbl><v>100</v></attr></attr></detailed>",
+        "<item id=\"i1\"/>",
+        "</r>"
+    );
+
+    fn doc() -> Document {
+        Document::parse(DOC).unwrap()
+    }
+
+    fn names(doc: &Document, ids: &[NodeId]) -> Vec<String> {
+        ids.iter().map(|id| doc.node(*id).name().unwrap().to_string()).collect()
+    }
+
+    #[test]
+    fn absolute_child_path() {
+        let d = doc();
+        let r = Path::parse("/r/theme/key").unwrap().eval(&d);
+        assert_eq!(r.len(), 3);
+        assert_eq!(names(&d, &r), vec!["key", "key", "key"]);
+    }
+
+    #[test]
+    fn descendant_axis() {
+        let d = doc();
+        let r = Path::parse("//lbl").unwrap().eval(&d);
+        assert_eq!(r.len(), 3);
+        let nested = Path::parse("/r/detailed//attr").unwrap().eval(&d);
+        assert_eq!(nested.len(), 3);
+    }
+
+    #[test]
+    fn predicate_equality() {
+        let d = doc();
+        let r = Path::parse("/r/theme[kt='CF']/key").unwrap().eval(&d);
+        assert_eq!(r.len(), 2);
+        let texts: Vec<_> = r.iter().map(|id| d.deep_text(*id)).collect();
+        assert_eq!(texts, vec!["rain", "snow"]);
+    }
+
+    #[test]
+    fn numeric_comparison() {
+        let d = doc();
+        let r = Path::parse("//attr[v>=1000]").unwrap().eval(&d);
+        assert_eq!(r.len(), 1);
+        let r = Path::parse("//attr[v<1000]").unwrap().eval(&d);
+        assert_eq!(r.len(), 1); // dzmin=100
+    }
+
+    #[test]
+    fn nested_path_operand() {
+        let d = doc();
+        // attrs that have a child attr with lbl=dzmin
+        let r = Path::parse("//attr[attr/lbl='dzmin']").unwrap().eval(&d);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn existence_predicate_and_attrs() {
+        let d = doc();
+        assert_eq!(Path::parse("//attr[v]").unwrap().eval(&d).len(), 2);
+        assert_eq!(Path::parse("//item[@id='i1']").unwrap().eval(&d).len(), 1);
+        assert_eq!(Path::parse("//item[@id='zz']").unwrap().eval(&d).len(), 0);
+    }
+
+    #[test]
+    fn self_text_and_wildcard() {
+        let d = doc();
+        assert_eq!(Path::parse("//kt[.='GCMD']").unwrap().eval(&d).len(), 1);
+        let r = Path::parse("/r/*").unwrap().eval(&d);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn no_match_on_wrong_root() {
+        let d = doc();
+        assert!(Path::parse("/nope/theme").unwrap().eval(&d).is_empty());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Path::parse("/r/theme[kt=").is_err());
+        assert!(Path::parse("/r/theme[kt='x'").is_err());
+        assert!(Path::parse("/r/ theme junk$").is_err());
+        assert!(Path::parse("").is_err());
+    }
+
+    #[test]
+    fn results_deduped_and_sorted() {
+        let d = Document::parse("<a><b><c/></b><b><c/></b></a>").unwrap();
+        let r = Path::parse("//b/c").unwrap().eval(&d);
+        assert_eq!(r.len(), 2);
+        assert!(r[0] < r[1]);
+    }
+}

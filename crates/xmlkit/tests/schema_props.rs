@@ -1,0 +1,141 @@
+//! Property tests for the schema model and XPath-lite.
+
+use proptest::prelude::*;
+use xmlkit::schema::{Cardinality, ChildRef, Schema, SchemaBuilder};
+use xmlkit::xpath::Path;
+use xmlkit::Document;
+
+#[derive(Debug, Clone)]
+enum STree {
+    Leaf(String, Cardinality),
+    Node(String, Cardinality, Vec<STree>),
+}
+
+fn card() -> impl Strategy<Value = Cardinality> {
+    prop_oneof![
+        Just(Cardinality::One),
+        Just(Cardinality::Optional),
+        Just(Cardinality::Many),
+        Just(Cardinality::OneOrMore),
+    ]
+}
+
+fn stree() -> impl Strategy<Value = STree> {
+    let leaf = ("[a-z][a-z0-9]{0,6}", card()).prop_map(|(n, c)| STree::Leaf(n, c));
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        ("[a-z][a-z0-9]{0,6}", card(), proptest::collection::vec(inner, 1..4))
+            .prop_map(|(n, c, kids)| {
+                // Sibling names must be unique for child_named to be
+                // deterministic.
+                let mut kids = kids;
+                kids.sort_by_key(|k| match k {
+                    STree::Leaf(n, _) | STree::Node(n, _, _) => n.clone(),
+                });
+                kids.dedup_by(|a, b| {
+                    let an = match a {
+                        STree::Leaf(n, _) | STree::Node(n, _, _) => n.clone(),
+                    };
+                    let bn = match b {
+                        STree::Leaf(n, _) | STree::Node(n, _, _) => n.clone(),
+                    };
+                    an == bn
+                });
+                STree::Node(n, c, kids)
+            })
+    })
+}
+
+fn build(b: &mut SchemaBuilder, parent: xmlkit::SchemaNodeId, t: &STree) {
+    match t {
+        STree::Leaf(n, c) => {
+            b.leaf(parent, n.clone(), *c);
+        }
+        STree::Node(n, c, kids) => {
+            let id = b.child(parent, n.clone(), *c);
+            for k in kids {
+                build(b, id, k);
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Preorder visits every node exactly once, parents before children.
+    #[test]
+    fn preorder_parent_before_child(t in stree()) {
+        let mut b = SchemaBuilder::new("root");
+        let root = b.root();
+        build(&mut b, root, &t);
+        let s = b.build();
+        let order = s.preorder();
+        prop_assert_eq!(order.len(), s.len());
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        for id in s.preorder() {
+            if let Some(p) = s.node(id).parent {
+                prop_assert!(pos[&p] < pos[&id]);
+            }
+        }
+    }
+
+    /// resolve_path finds every node by its ancestry path.
+    #[test]
+    fn resolve_path_total(t in stree()) {
+        let mut b = SchemaBuilder::new("root");
+        let root = b.root();
+        build(&mut b, root, &t);
+        let s = b.build();
+        for id in s.preorder() {
+            let path: String = s
+                .ancestry(id)
+                .iter()
+                .map(|n| format!("/{}", s.node(*n).name))
+                .collect();
+            prop_assert_eq!(s.resolve_path(&path), Some(id), "path {}", path);
+        }
+    }
+
+    /// Absolute child paths in XPath-lite agree with manual traversal.
+    #[test]
+    fn xpath_child_paths_agree(keys in proptest::collection::vec("[a-z]{1,5}", 1..8)) {
+        let mut xml = String::from("<r>");
+        for k in &keys {
+            xml.push_str(&format!("<item><key>{k}</key></item>"));
+        }
+        xml.push_str("</r>");
+        let doc = Document::parse(&xml).unwrap();
+        let hits = Path::parse("/r/item/key").unwrap().eval(&doc);
+        prop_assert_eq!(hits.len(), keys.len());
+        // Predicate narrows to exactly the matching keys.
+        let target = &keys[0];
+        let hits = Path::parse(&format!("/r/item[key='{target}']")).unwrap().eval(&doc);
+        let expected = keys.iter().filter(|k| *k == target).count();
+        prop_assert_eq!(hits.len(), expected);
+        // Descendant axis finds the same keys as the absolute path.
+        let desc = Path::parse("//key").unwrap().eval(&doc);
+        prop_assert_eq!(desc.len(), keys.len());
+    }
+
+    /// Numeric predicates agree with direct comparison.
+    #[test]
+    fn xpath_numeric_predicates(vals in proptest::collection::vec(-50i64..50, 1..10), threshold in -50i64..50) {
+        let mut xml = String::from("<r>");
+        for v in &vals {
+            xml.push_str(&format!("<n><v>{v}</v></n>"));
+        }
+        xml.push_str("</r>");
+        let doc = Document::parse(&xml).unwrap();
+        let hits = Path::parse(&format!("/r/n[v>={threshold}]")).unwrap().eval(&doc);
+        let expected = vals.iter().filter(|v| **v >= threshold).count();
+        prop_assert_eq!(hits.len(), expected);
+    }
+}
+
+#[test]
+fn recursion_edges_never_appear_in_preorder() {
+    let s = Schema::parse_dsl("r { a* { x ^a } }").unwrap();
+    let order = s.preorder();
+    assert_eq!(order.len(), 3); // r, a, x — the ^a edge is not a node
+    let a = s.resolve_path("/r/a").unwrap();
+    assert!(s.node(a).children.iter().any(|c| matches!(c, ChildRef::Recurse(_))));
+}

@@ -1,0 +1,91 @@
+//! The catalog as a grid service: server + clients in one process.
+//!
+//! Starts a `CatalogServer` on an ephemeral port, drives it from
+//! several concurrent clients (one ingesting scientist, two querying),
+//! snapshots the catalog to disk, and reloads it — the full service
+//! lifecycle of a myLEAD-style deployment.
+//!
+//! ```sh
+//! cargo run --example catalog_service
+//! ```
+
+use mylead::catalog::catalog::{CatalogConfig, MetadataCatalog};
+use mylead::catalog::lead::lead_partition;
+use mylead::workload::{DocGenerator, WorkloadConfig};
+use service::{CatalogClient, CatalogServer};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let generator = Arc::new(DocGenerator::new(WorkloadConfig::default()));
+    let catalog = Arc::new(generator.catalog(CatalogConfig::default())?);
+    let server = CatalogServer::start(catalog.clone(), "127.0.0.1:0")?;
+    println!("catalog service listening on {}", server.addr());
+
+    // One scientist ingests a forecast batch...
+    let addr = server.addr();
+    let gen_w = generator.clone();
+    let writer = std::thread::spawn(move || -> Result<Vec<i64>, Box<service::client::ClientError>> {
+        let mut c = CatalogClient::connect(addr).map_err(Box::new)?;
+        let mut ids = Vec::new();
+        for i in 0..40 {
+            ids.push(c.ingest(&gen_w.generate(i)).map_err(Box::new)?);
+        }
+        c.quit().map_err(Box::new)?;
+        Ok(ids)
+    });
+
+    // ...while two colleagues poll with attribute queries.
+    let mut pollers = Vec::new();
+    for who in ["amira", "ben"] {
+        let addr = server.addr();
+        pollers.push(std::thread::spawn(move || -> Result<usize, Box<service::client::ClientError>> {
+            let mut c = CatalogClient::connect(addr).map_err(Box::new)?;
+            let mut best = 0;
+            for _ in 0..10 {
+                let hits = c.query("grid@ARPS[p0=0..100]").map_err(Box::new)?;
+                best = best.max(hits.len());
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            println!("{who} saw up to {best} matching runs while ingest was underway");
+            c.quit().map_err(Box::new)?;
+            Ok(best)
+        }));
+    }
+
+    let ids = writer.join().expect("writer thread")?;
+    for p in pollers {
+        p.join().expect("poller thread")?;
+    }
+    println!("ingested {} objects over the wire", ids.len());
+
+    // Fetch one document over the wire and verify it parses.
+    let mut c = CatalogClient::connect(server.addr())?;
+    let body = c.fetch(&ids[..3])?;
+    let doc = mylead::xmlkit::Document::parse(&body)?;
+    println!(
+        "fetched {} objects in one envelope ({} bytes, root <{}>)",
+        3,
+        body.len(),
+        doc.node(doc.root()).name().unwrap_or("?")
+    );
+    for (k, v) in c.stats()? {
+        print!("{k}={v}  ");
+    }
+    println!();
+
+    // Snapshot the live catalog and reload it — restart survival.
+    let path = std::env::temp_dir().join("mylead-service-demo.snapshot");
+    catalog.save(&path)?;
+    let reloaded = MetadataCatalog::load(&path, lead_partition(), CatalogConfig::default());
+    match reloaded {
+        Err(e) => println!("reload failed: {e}"),
+        Ok(_) => {
+            // The demo generator registers its own defs; reload against
+            // the same defs requires the generator's catalog partition,
+            // so rebuild through it.
+            println!("snapshot written to {} and reloaded OK", path.display());
+        }
+    }
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

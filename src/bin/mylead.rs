@@ -1,0 +1,211 @@
+//! `mylead` — command-line front end for the hybrid metadata catalog.
+//!
+//! The catalog state lives in a snapshot file (created by `init`),
+//! loaded at the start of each command and saved back after mutations:
+//!
+//! ```text
+//! mylead init      -s cat.db
+//! mylead ingest    -s cat.db doc1.xml doc2.xml ...
+//! mylead add       -s cat.db <object-id> fragment.xml
+//! mylead query     -s cat.db "grid@ARPS[dx=1000]{grid-stretching@ARPS[dzmin=100]}"
+//! mylead search    -s cat.db "theme[themekey~'%rain%']"
+//! mylead fetch     -s cat.db 1 2 3
+//! mylead stats     -s cat.db
+//! mylead sql       -s cat.db "SELECT COUNT(*) FROM clobs"
+//! mylead serve     -s cat.db 127.0.0.1:7070
+//! ```
+//!
+//! `init` builds a catalog over the Fig-2 LEAD schema with the ARPS
+//! definitions registered and auto-registration of new dynamic
+//! attributes enabled (pass `--strict` to disable).
+
+use mylead::catalog::catalog::{CatalogConfig, MetadataCatalog};
+use mylead::catalog::lead::{lead_catalog, lead_partition};
+use mylead::catalog::qparse::parse_query;
+use std::io::Write;
+use std::process::ExitCode;
+
+/// Print a line, ignoring broken pipes (`mylead ... | head` must not
+/// panic when the reader closes early).
+fn say(text: std::fmt::Arguments<'_>) {
+    let mut out = std::io::stdout().lock();
+    let _ = out.write_fmt(text);
+    let _ = out.write_all(b"\n");
+}
+
+macro_rules! say {
+    ($($arg:tt)*) => { say(format_args!($($arg)*)) };
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("mylead: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Args {
+    command: String,
+    snapshot: String,
+    strict: bool,
+    rest: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(usage)?;
+    let mut snapshot = None;
+    let mut strict = false;
+    let mut rest = Vec::new();
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "-s" | "--snapshot" => {
+                snapshot = Some(argv.next().ok_or("missing value after --snapshot")?);
+            }
+            "--strict" => strict = true,
+            _ => rest.push(a),
+        }
+    }
+    Ok(Args {
+        command,
+        snapshot: snapshot.ok_or("every command needs --snapshot <path> (or -s)")?,
+        strict,
+        rest,
+    })
+}
+
+fn usage() -> String {
+    "usage: mylead <init|ingest|add|query|search|fetch|stats|sql|serve> -s <snapshot> [args...]"
+        .to_string()
+}
+
+fn config(strict: bool) -> CatalogConfig {
+    let mut c = CatalogConfig::default();
+    c.auto_register = !strict;
+    c
+}
+
+fn load(args: &Args) -> Result<MetadataCatalog, String> {
+    MetadataCatalog::load(&args.snapshot, lead_partition(), config(args.strict))
+        .map_err(|e| format!("cannot load snapshot {}: {e}", args.snapshot))
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    match args.command.as_str() {
+        "init" => {
+            if std::path::Path::new(&args.snapshot).exists() {
+                return Err(format!("{} already exists", args.snapshot));
+            }
+            let cat = lead_catalog(config(args.strict)).map_err(|e| e.to_string())?;
+            cat.save(&args.snapshot).map_err(|e| e.to_string())?;
+            say!("initialized LEAD catalog at {}", args.snapshot);
+            Ok(())
+        }
+        "ingest" => {
+            if args.rest.is_empty() {
+                return Err("ingest needs at least one XML file".into());
+            }
+            let cat = load(&args)?;
+            // Save even when a later file fails, so objects already
+            // reported as ingested are never silently lost.
+            let mut failure = None;
+            for path in &args.rest {
+                let result = std::fs::read_to_string(path)
+                    .map_err(|e| format!("{path}: {e}"))
+                    .and_then(|xml| cat.ingest(&xml).map_err(|e| format!("{path}: {e}")));
+                match result {
+                    Ok(id) => say!("{path} -> object {id}"),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            cat.save(&args.snapshot).map_err(|e| e.to_string())?;
+            match failure {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        }
+        "add" => {
+            let [id_str, path] = args.rest.as_slice() else {
+                return Err("add needs <object-id> <fragment.xml>".into());
+            };
+            let id: i64 = id_str.parse().map_err(|_| format!("bad object id {id_str}"))?;
+            let cat = load(&args)?;
+            let xml = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            cat.add_attribute(id, &xml).map_err(|e| e.to_string())?;
+            say!("added attribute to object {id}");
+            cat.save(&args.snapshot).map_err(|e| e.to_string())
+        }
+        "query" => {
+            let dsl = args.rest.join(" ");
+            let q = parse_query(&dsl).map_err(|e| e.to_string())?;
+            let cat = load(&args)?;
+            let ids = cat.query(&q).map_err(|e| e.to_string())?;
+            say!("{} object(s): {:?}", ids.len(), ids);
+            Ok(())
+        }
+        "search" => {
+            let dsl = args.rest.join(" ");
+            let q = parse_query(&dsl).map_err(|e| e.to_string())?;
+            let cat = load(&args)?;
+            for (id, doc) in cat.search(&q).map_err(|e| e.to_string())? {
+                say!("--- object {id} ---");
+                match mylead::xmlkit::Document::parse(&doc) {
+                    Ok(d) => say!("{}", mylead::xmlkit::writer::to_pretty_string(&d, d.root()).trim_end()),
+                    Err(_) => say!("{doc}"),
+                }
+            }
+            Ok(())
+        }
+        "fetch" => {
+            let ids: Result<Vec<i64>, _> = args.rest.iter().map(|s| s.parse::<i64>()).collect();
+            let ids = ids.map_err(|_| "fetch needs numeric object ids".to_string())?;
+            let cat = load(&args)?;
+            for (id, doc) in cat.fetch_documents(&ids).map_err(|e| e.to_string())? {
+                say!("--- object {id} ---");
+                say!("{doc}");
+            }
+            Ok(())
+        }
+        "stats" => {
+            let cat = load(&args)?;
+            let s = cat.stats();
+            say!("objects        {}", s.objects);
+            say!("attribute rows {}", s.attr_rows);
+            say!("element rows   {}", s.elem_rows);
+            say!("inverted rows  {}", s.ancestor_rows);
+            say!("CLOBs          {} ({} bytes)", s.clob_count, s.clob_bytes);
+            say!("definitions    {} attrs, {} elems", s.attr_defs, s.elem_defs);
+            Ok(())
+        }
+        "sql" => {
+            let stmt = args.rest.join(" ");
+            let cat = load(&args)?;
+            let rs = cat.db().execute_sql(&stmt).map_err(|e| e.to_string())?;
+            say!("{}", rs.to_text().trim_end());
+            // Persist in case the statement mutated the store.
+            cat.save(&args.snapshot).map_err(|e| e.to_string())
+        }
+        "serve" => {
+            let addr = args.rest.first().cloned().unwrap_or_else(|| "127.0.0.1:7070".into());
+            let cat = std::sync::Arc::new(load(&args)?);
+            let server =
+                service::CatalogServer::start(cat.clone(), &addr).map_err(|e| e.to_string())?;
+            say!("serving catalog {} on {} (Ctrl-C to stop; snapshot is saved every 30 s)",
+                args.snapshot, server.addr());
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(30));
+                if let Err(e) = cat.save(&args.snapshot) {
+                    eprintln!("snapshot save failed: {e}");
+                }
+            }
+        }
+        other => Err(format!("unknown command {other}\n{}", usage())),
+    }
+}

@@ -1,0 +1,109 @@
+//! End-to-end tests of the `mylead` CLI binary (spawned as a process).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_mylead")
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mylead-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn run(args: &[&str]) -> (bool, String) {
+    let out = Command::new(bin()).args(args).output().expect("spawn mylead");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+const DOC: &str = "<LEADresource><resourceID>cli</resourceID><data>\
+<idinfo><keywords><theme><themekt>CF</themekt><themekey>rain</themekey></theme></keywords></idinfo>\
+<geospatial><eainfo><detailed>\
+<enttyp><enttypl>grid</enttypl><enttypds>ARPS</enttypds></enttyp>\
+<attr><attrlabl>dx</attrlabl><attrdefs>ARPS</attrdefs><attrv>1000</attrv></attr>\
+</detailed></eainfo></geospatial></data></LEADresource>";
+
+#[test]
+fn init_ingest_query_fetch_stats_sql() {
+    let dir = tmpdir("full");
+    let snap = dir.join("cat.db");
+    let snap_s = snap.to_str().unwrap();
+    let docfile = dir.join("doc.xml");
+    std::fs::write(&docfile, DOC).unwrap();
+
+    let (ok, out) = run(&["init", "-s", snap_s]);
+    assert!(ok, "{out}");
+
+    let (ok, out) = run(&["ingest", "-s", snap_s, docfile.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    assert!(out.contains("object 1"), "{out}");
+
+    let (ok, out) = run(&["query", "-s", snap_s, "grid@ARPS[dx=1000]"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("[1]"), "{out}");
+
+    let (ok, out) = run(&["search", "-s", snap_s, "theme[themekey='rain']"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("<LEADresource>"), "{out}");
+
+    let (ok, out) = run(&["fetch", "-s", snap_s, "1"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("<resourceID>cli</resourceID>"), "{out}");
+
+    let (ok, out) = run(&["stats", "-s", snap_s]);
+    assert!(ok, "{out}");
+    assert!(out.contains("objects        1"), "{out}");
+
+    let (ok, out) = run(&["sql", "-s", snap_s, "SELECT COUNT(*) FROM clobs"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("3"), "{out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn add_appends_and_persists() {
+    let dir = tmpdir("add");
+    let snap = dir.join("cat.db");
+    let snap_s = snap.to_str().unwrap();
+    let docfile = dir.join("doc.xml");
+    std::fs::write(&docfile, DOC).unwrap();
+    let frag = dir.join("frag.xml");
+    std::fs::write(&frag, "<theme><themekt>CF</themekt><themekey>late</themekey></theme>").unwrap();
+
+    assert!(run(&["init", "-s", snap_s]).0);
+    assert!(run(&["ingest", "-s", snap_s, docfile.to_str().unwrap()]).0);
+    let (ok, out) = run(&["add", "-s", snap_s, "1", frag.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    let (ok, out) = run(&["query", "-s", snap_s, "theme[themekey='late']"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("[1]"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn errors_exit_nonzero() {
+    let dir = tmpdir("err");
+    let snap = dir.join("cat.db");
+    let snap_s = snap.to_str().unwrap();
+    // Missing snapshot.
+    let (ok, out) = run(&["query", "-s", snap_s, "theme[themekey='x']"]);
+    assert!(!ok, "{out}");
+    // Bad command.
+    assert!(run(&["nonsense", "-s", snap_s]).0 == false);
+    // init twice fails.
+    assert!(run(&["init", "-s", snap_s]).0);
+    let (ok, out) = run(&["init", "-s", snap_s]);
+    assert!(!ok, "{out}");
+    // Bad query DSL.
+    let (ok, out) = run(&["query", "-s", snap_s, "[[["]);
+    assert!(!ok, "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
