@@ -75,7 +75,13 @@ impl DocOrderStore {
     /// Insert a subtree at position `at` of `object`: every node at or
     /// after `at` must be renumbered — the per-document maintenance cost
     /// of \[19\]'s global ordering. Returns how many rows were shifted.
-    pub fn insert_subtree(&self, object: i64, at: i64, fragment: &str, depth: i64) -> Result<usize> {
+    pub fn insert_subtree(
+        &self,
+        object: i64,
+        at: i64,
+        fragment: &str,
+        depth: i64,
+    ) -> Result<usize> {
         let frag = Document::parse(fragment)?;
         // Count fragment elements to compute the shift width.
         let frag_len = frag.descendants(frag.root()).count() as i64;

@@ -158,7 +158,9 @@ fn dynamic_node_matches(
                 })
                 .collect()
         };
-        candidates.into_iter().any(|c| dynamic_node_matches(doc, c, sub, cv, sub_source))
+        candidates
+            .into_iter()
+            .any(|c| dynamic_node_matches(doc, c, sub, cv, sub_source))
     })
 }
 
@@ -188,16 +190,16 @@ mod tests {
 
     #[test]
     fn wrong_value_rejects() {
-        let q = ObjectQuery::new().attr(
-            AttrQuery::new("grid").source("ARPS").elem(ElemCond::eq_num("dx", 999.0)),
-        );
+        let q = ObjectQuery::new()
+            .attr(AttrQuery::new("grid").source("ARPS").elem(ElemCond::eq_num("dx", 999.0)));
         assert!(!object_matches(&doc(), &q, &DynamicConvention::default()));
     }
 
     #[test]
     fn structural_theme_match() {
         let q = ObjectQuery::new().attr(
-            AttrQuery::new("theme").elem(ElemCond::eq_str("themekey", "air_pressure_at_cloud_base")),
+            AttrQuery::new("theme")
+                .elem(ElemCond::eq_str("themekey", "air_pressure_at_cloud_base")),
         );
         assert!(object_matches(&doc(), &q, &DynamicConvention::default()));
         let q2 = ObjectQuery::new()
@@ -232,9 +234,11 @@ mod tests {
     fn nested_sub_attribute_hierarchical() {
         // dzmin lives under grid-stretching, not directly under grid.
         let q = ObjectQuery::new().attr(
-            AttrQuery::new("grid")
-                .source("ARPS")
-                .sub(AttrQuery::new("grid-stretching").source("ARPS").elem(ElemCond::eq_num("reference-height", 0.0))),
+            AttrQuery::new("grid").source("ARPS").sub(
+                AttrQuery::new("grid-stretching")
+                    .source("ARPS")
+                    .elem(ElemCond::eq_num("reference-height", 0.0)),
+            ),
         );
         assert!(object_matches(&doc(), &q, &DynamicConvention::default()));
         // Direct-children demand still finds it (grid-stretching IS a

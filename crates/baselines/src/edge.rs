@@ -49,34 +49,45 @@ impl EdgeBackend {
         db.create_index("edges", "edges_by_tag", &["tag"], false)?;
         db.create_index("edges", "edges_by_obj", &["object_id"], false)?;
         db.create_index("edges", "edges_by_parent", &["object_id", "parent_id"], false)?;
-        Ok(EdgeBackend { db, convention, next_obj: AtomicI64::new(1), next_node: AtomicI64::new(1) })
+        Ok(EdgeBackend {
+            db,
+            convention,
+            next_obj: AtomicI64::new(1),
+            next_node: AtomicI64::new(1),
+        })
     }
 
     /// Distinct `(object_id, node_id)` of elements with `tag`.
     fn nodes_with_tag(&self, tag: &str) -> Result<ResultSet> {
         self.db
             .execute(
-                &Plan::Scan { table: "edges".into(), filter: Some(Expr::col_eq(4, tag)) }
-                    .project(vec![(Expr::col(0), "object_id".into()), (Expr::col(1), "node_id".into())]),
+                &Plan::Scan { table: "edges".into(), filter: Some(Expr::col_eq(4, tag)) }.project(
+                    vec![(Expr::col(0), "object_id".into()), (Expr::col(1), "node_id".into())],
+                ),
             )
             .map_err(Into::into)
     }
 
     /// Keep rows of `set` (object, node) that have a child with `tag`
     /// whose value satisfies `cond` (None = existence only).
-    fn filter_by_child_value(&self, set: ResultSet, tag: &str, cond: Option<&ElemCond>) -> Result<ResultSet> {
+    fn filter_by_child_value(
+        &self,
+        set: ResultSet,
+        tag: &str,
+        cond: Option<&ElemCond>,
+    ) -> Result<ResultSet> {
         if set.rows.is_empty() {
             return Ok(set);
         }
         let children = Plan::Scan { table: "edges".into(), filter: Some(Expr::col_eq(4, tag)) };
         // set(obj=0,node=1) ⋈ children on (obj, node=parent_id)
-        let joined = self
-            .db
-            .execute(&Plan::Values { columns: set.columns.clone(), rows: set.rows.clone() }.hash_join(
+        let joined = self.db.execute(
+            &Plan::Values { columns: set.columns.clone(), rows: set.rows.clone() }.hash_join(
                 children,
                 vec![0, 1],
                 vec![0, 2],
-            ))?;
+            ),
+        )?;
         // joined: set(2) ++ edges(7) → value_str at 2+5=7
         let mut keep: std::collections::HashSet<(i64, i64)> = std::collections::HashSet::new();
         for row in &joined.rows {
@@ -146,7 +157,12 @@ impl EdgeBackend {
 
     /// Nodes satisfying an attribute criterion (whole subtree),
     /// hierarchical semantics.
-    fn matching_nodes(&self, aq: &AttrQuery, is_top: bool, parent_source: Option<&str>) -> Result<ResultSet> {
+    fn matching_nodes(
+        &self,
+        aq: &AttrQuery,
+        is_top: bool,
+        parent_source: Option<&str>,
+    ) -> Result<ResultSet> {
         let cv = &self.convention;
         // Candidate nodes.
         let mut candidates = match (&aq.source, is_top) {
@@ -156,15 +172,31 @@ impl EdgeBackend {
                 let heads = match &cv.head_wrapper {
                     Some(h) => {
                         let mut hs = self.nodes_with_tag(h)?;
-                        hs = self.filter_by_child_value(hs, &cv.head_name_tag, Some(&ElemCond::eq_str(&cv.head_name_tag, aq.name.clone())))?;
+                        hs = self.filter_by_child_value(
+                            hs,
+                            &cv.head_name_tag,
+                            Some(&ElemCond::eq_str(&cv.head_name_tag, aq.name.clone())),
+                        )?;
                         // Fix: condition compares VALUE, name irrelevant; reuse eq_str on value
-                        hs = self.filter_by_child_value(hs, &cv.head_source_tag, Some(&ElemCond::eq_str(&cv.head_source_tag, source.clone())))?;
+                        hs = self.filter_by_child_value(
+                            hs,
+                            &cv.head_source_tag,
+                            Some(&ElemCond::eq_str(&cv.head_source_tag, source.clone())),
+                        )?;
                         hs
                     }
                     None => {
                         let all = self.nodes_with_tag(&cv.node_tag)?;
-                        let named = self.filter_by_child_value(all, &cv.head_name_tag, Some(&ElemCond::eq_str(&cv.head_name_tag, aq.name.clone())))?;
-                        self.filter_by_child_value(named, &cv.head_source_tag, Some(&ElemCond::eq_str(&cv.head_source_tag, source.clone())))?
+                        let named = self.filter_by_child_value(
+                            all,
+                            &cv.head_name_tag,
+                            Some(&ElemCond::eq_str(&cv.head_name_tag, aq.name.clone())),
+                        )?;
+                        self.filter_by_child_value(
+                            named,
+                            &cv.head_source_tag,
+                            Some(&ElemCond::eq_str(&cv.head_source_tag, source.clone())),
+                        )?
                     }
                 };
                 if cv.head_wrapper.is_some() {
@@ -226,9 +258,12 @@ impl EdgeBackend {
                 .iter()
                 .filter_map(|r| Some((r[0].as_i64()?, r[1].as_i64()?)))
                 .collect();
-            let mut ok_roots: std::collections::HashSet<(i64, i64)> = std::collections::HashSet::new();
+            let mut ok_roots: std::collections::HashSet<(i64, i64)> =
+                std::collections::HashSet::new();
             for r in &pairs.rows {
-                if let (Some(o), Some(root), Some(n)) = (r[0].as_i64(), r[1].as_i64(), r[2].as_i64()) {
+                if let (Some(o), Some(root), Some(n)) =
+                    (r[0].as_i64(), r[1].as_i64(), r[2].as_i64())
+                {
                     if keep.contains(&(o, n)) {
                         ok_roots.insert((o, root));
                     }
@@ -251,8 +286,15 @@ impl EdgeBackend {
         // set(obj, node) ⋈ edges on (obj, node_id) → parent_id
         let joined = self.db.execute(
             &Plan::Values { columns: set.columns.clone(), rows: set.rows.clone() }
-                .hash_join(Plan::Scan { table: "edges".into(), filter: None }, vec![0, 1], vec![0, 1])
-                .project(vec![(Expr::col(0), "object_id".into()), (Expr::col(4), "node_id".into())]),
+                .hash_join(
+                    Plan::Scan { table: "edges".into(), filter: None },
+                    vec![0, 1],
+                    vec![0, 1],
+                )
+                .project(vec![
+                    (Expr::col(0), "object_id".into()),
+                    (Expr::col(4), "node_id".into()),
+                ]),
         )?;
         Ok(ResultSet {
             columns: joined.columns,
@@ -262,7 +304,12 @@ impl EdgeBackend {
 
     /// Keep nodes whose explicit source matches, or which have no
     /// source child and inherit a matching parent source.
-    fn filter_source(&self, set: ResultSet, source: &str, parent_source: Option<&str>) -> Result<ResultSet> {
+    fn filter_source(
+        &self,
+        set: ResultSet,
+        source: &str,
+        parent_source: Option<&str>,
+    ) -> Result<ResultSet> {
         if set.rows.is_empty() {
             return Ok(set);
         }
@@ -276,7 +323,8 @@ impl EdgeBackend {
                 vec![0, 2],
             ),
         )?;
-        let mut explicit: std::collections::HashMap<(i64, i64), bool> = std::collections::HashMap::new();
+        let mut explicit: std::collections::HashMap<(i64, i64), bool> =
+            std::collections::HashMap::new();
         for r in &joined.rows {
             if let (Some(o), Some(n)) = (r[0].as_i64(), r[1].as_i64()) {
                 let matches = r[7].as_str() == Some(source);
@@ -330,8 +378,11 @@ impl EdgeBackend {
             return Ok(set);
         }
         let joined = self.db.execute(
-            &Plan::Values { columns: set.columns.clone(), rows: set.rows.clone() }
-                .hash_join(Plan::Scan { table: "edges".into(), filter: None }, vec![0, 1], vec![0, 1]),
+            &Plan::Values { columns: set.columns.clone(), rows: set.rows.clone() }.hash_join(
+                Plan::Scan { table: "edges".into(), filter: None },
+                vec![0, 1],
+                vec![0, 1],
+            ),
         )?;
         // value_str at 2+5=7
         Ok(ResultSet {
@@ -371,7 +422,9 @@ impl CatalogBackend for EdgeBackend {
                     if text.is_empty() { Value::Null } else { Value::Str(text) },
                     num.map(Value::Float).unwrap_or(Value::Null),
                 ]);
-                for (i, c) in doc.child_elements(node).enumerate().collect::<Vec<_>>().into_iter().rev() {
+                for (i, c) in
+                    doc.child_elements(node).enumerate().collect::<Vec<_>>().into_iter().rev()
+                {
                     stack.push((c, Some(nid), (i + 1) as i64));
                 }
             }
@@ -474,9 +527,7 @@ mod tests {
     fn fig4_query_over_edges() {
         let b = backend();
         let hit = b.ingest(FIG3_DOCUMENT).unwrap();
-        let _miss = b
-            .ingest("<LEADresource><resourceID>x</resourceID></LEADresource>")
-            .unwrap();
+        let _miss = b.ingest("<LEADresource><resourceID>x</resourceID></LEADresource>").unwrap();
         assert_eq!(b.query(&fig4_query()).unwrap(), vec![hit]);
     }
 
@@ -524,18 +575,16 @@ mod tests {
         let id = b.ingest(doc).unwrap();
         let q = ObjectQuery::new().attr(
             AttrQuery::new("m").source("S").sub(
-                AttrQuery::new("l1").source("S").sub(
-                    AttrQuery::new("l2").source("S").elem(ElemCond::eq_num("v", 42.0)),
-                ),
+                AttrQuery::new("l1")
+                    .source("S")
+                    .sub(AttrQuery::new("l2").source("S").elem(ElemCond::eq_num("v", 42.0))),
             ),
         );
         assert_eq!(b.query(&q).unwrap(), vec![id]);
         let q_wrong = ObjectQuery::new().attr(
-            AttrQuery::new("m").source("S").sub(
-                AttrQuery::new("l2").source("S").sub(
-                    AttrQuery::new("l1").source("S"),
-                ),
-            ),
+            AttrQuery::new("m")
+                .source("S")
+                .sub(AttrQuery::new("l2").source("S").sub(AttrQuery::new("l1").source("S"))),
         );
         assert!(b.query(&q_wrong).unwrap().is_empty());
     }

@@ -113,7 +113,10 @@ impl InliningBackend {
                 };
                 placement.insert(
                     id,
-                    Placement::Inlined { table: tables[current_table].name.clone(), column: col.clone() },
+                    Placement::Inlined {
+                        table: tables[current_table].name.clone(),
+                        column: col.clone(),
+                    },
                 );
                 (current_table, col)
             };
@@ -122,7 +125,9 @@ impl InliningBackend {
                 // Leaf data columns (text + numeric shadow).
                 let base = if make_table { "value".to_string() } else { prefix.clone() };
                 tables[tidx].columns.push(Column::nullable(base.clone(), DataType::Text));
-                tables[tidx].columns.push(Column::nullable(format!("{base}__n"), DataType::Float));
+                tables[tidx]
+                    .columns
+                    .push(Column::nullable(format!("{base}__n"), DataType::Float));
                 return;
             }
             for c in node.children.iter() {
@@ -185,7 +190,6 @@ impl InliningBackend {
         Ok(backend)
     }
 
-
     fn table_of(&self, id: SchemaNodeId) -> (&str, Option<&str>) {
         match self.placement.get(&id) {
             Some(Placement::Table(t)) => (t.as_str(), None),
@@ -218,11 +222,7 @@ impl InliningBackend {
             None => {
                 // Own table: allocate a row, fill inlined descendants.
                 let rid = self.next_row.fetch_add(1, Ordering::Relaxed);
-                let arity = self
-                    .col_index
-                    .iter()
-                    .filter(|((t, _), _)| t == table)
-                    .count();
+                let arity = self.col_index.iter().filter(|((t, _), _)| t == table).count();
                 let mut row = vec![Value::Null; arity];
                 row[0] = Value::Int(object);
                 row[1] = Value::Int(rid);
@@ -231,7 +231,8 @@ impl InliningBackend {
                 if self.schema.node(snode).is_leaf() {
                     let text = doc.direct_text(dnode);
                     let vi = self.col(table, "value");
-                    row[vi + 1] = text.trim().parse::<f64>().ok().map(Value::Float).unwrap_or(Value::Null);
+                    row[vi + 1] =
+                        text.trim().parse::<f64>().ok().map(Value::Float).unwrap_or(Value::Null);
                     row[vi] = Value::Str(text);
                 } else {
                     self.fill_row(doc, dnode, snode, object, rid, &mut row, pending);
@@ -273,8 +274,12 @@ impl InliningBackend {
                     if self.schema.node(schild).is_leaf() {
                         let text = doc.direct_text(child);
                         let vi = self.col(table, col);
-                        row[vi + 1] =
-                            text.trim().parse::<f64>().ok().map(Value::Float).unwrap_or(Value::Null);
+                        row[vi + 1] = text
+                            .trim()
+                            .parse::<f64>()
+                            .ok()
+                            .map(Value::Float)
+                            .unwrap_or(Value::Null);
                         row[vi] = Value::Str(text);
                     } else {
                         self.fill_row(doc, child, schild, object, row_id, row, pending);
@@ -328,10 +333,9 @@ impl InliningBackend {
             table: home_table.to_string(),
             filter: if preds.is_empty() { None } else { Some(Expr::all(preds)) },
         };
-        let mut set = self.db.execute(&scan.project(vec![
-            (Expr::col(0), "object_id".into()),
-            (Expr::col(1), "id".into()),
-        ]))?;
+        let mut set = self.db.execute(
+            &scan.project(vec![(Expr::col(0), "object_id".into()), (Expr::col(1), "id".into())]),
+        )?;
         for (ctab, cond) in child_table_conds {
             if set.rows.is_empty() {
                 break;
@@ -350,10 +354,10 @@ impl InliningBackend {
         }
         // Sub-attribute criteria on structural attributes: resolve
         // against child nodes (rare in LEAD; supported for generality).
-        for sub in &aq.subs {
-            let _ = sub;
+        if !aq.subs.is_empty() {
             return Err(CatalogError::BadQuery(
-                "inlining baseline supports sub-attribute criteria on dynamic attributes only".into(),
+                "inlining baseline supports sub-attribute criteria on dynamic attributes only"
+                    .into(),
             ));
         }
         Ok(set)
@@ -370,10 +374,9 @@ impl InliningBackend {
             .find(|&n| self.partition.is_dynamic_root(n))
             .ok_or_else(|| CatalogError::BadQuery("schema has no dynamic attribute root".into()))?;
         let (anchor_table, _) = self.table_of(anchor);
-        let rec = self
-            .schema
-            .child_named(anchor, &self.convention.node_tag)
-            .ok_or_else(|| CatalogError::BadQuery("dynamic root lacks the recursive node".into()))?;
+        let rec = self.schema.child_named(anchor, &self.convention.node_tag).ok_or_else(|| {
+            CatalogError::BadQuery("dynamic root lacks the recursive node".into())
+        })?;
         let (rec_table, _) = self.table_of(rec);
         Ok((anchor_table.to_string(), rec_table.to_string(), anchor))
     }
@@ -405,11 +408,12 @@ impl InliningBackend {
         }
         self.db
             .execute(
-                &Plan::Scan { table: rec_table.to_string(), filter: Some(Expr::all(preds)) }.project(vec![
-                    (Expr::col(0), "object_id".into()),
-                    (Expr::col(1), "id".into()),
-                    (Expr::col(2), "parent_id".into()),
-                ]),
+                &Plan::Scan { table: rec_table.to_string(), filter: Some(Expr::all(preds)) }
+                    .project(vec![
+                        (Expr::col(0), "object_id".into()),
+                        (Expr::col(1), "id".into()),
+                        (Expr::col(2), "parent_id".into()),
+                    ]),
             )
             .map_err(Into::into)
     }
@@ -456,7 +460,8 @@ impl InliningBackend {
             if set.rows.is_empty() {
                 return Ok(set);
             }
-            let matches = self.labeled_attr_rows(&rec_table, &cond.name, aq.source.as_deref(), Some(cond))?;
+            let matches =
+                self.labeled_attr_rows(&rec_table, &cond.name, aq.source.as_deref(), Some(cond))?;
             let keep: std::collections::HashSet<(i64, i64)> = matches
                 .rows
                 .iter()
@@ -509,7 +514,9 @@ impl InliningBackend {
                     .map(|r| vec![r[0].clone(), r[1].clone(), r[4].clone()])
                     .collect();
                 for r in &frontier {
-                    if let (Some(o), Some(root), Some(n)) = (r[0].as_i64(), r[1].as_i64(), r[2].as_i64()) {
+                    if let (Some(o), Some(root), Some(n)) =
+                        (r[0].as_i64(), r[1].as_i64(), r[2].as_i64())
+                    {
                         if sat_set.contains(&(o, n)) {
                             ok.insert((o, root));
                         }
@@ -561,7 +568,9 @@ impl InliningBackend {
             // Recursion edges re-enter the same node; instance recursion
             // is handled by the tabled fetch below, so skip the edge if
             // it's already covered by a Node ref with the same target.
-            if matches!(c, ChildRef::Recurse(_)) && matches!(self.placement.get(&child), Some(Placement::Table(_))) {
+            if matches!(c, ChildRef::Recurse(_))
+                && matches!(self.placement.get(&child), Some(Placement::Table(_)))
+            {
                 // attr-in-attr instances are fetched as parent rows.
                 self.rebuild_tabled(object, child, row_id, dom_parent, doc)?;
                 continue;
@@ -574,7 +583,8 @@ impl InliningBackend {
                     if self.schema.node(child).is_leaf() {
                         let vi = self.col(&table, &column);
                         if let Some(text) = row[vi].as_str() {
-                            let el = doc.add_element(dom_parent, self.schema.node(child).name.clone());
+                            let el =
+                                doc.add_element(dom_parent, self.schema.node(child).name.clone());
                             if !text.is_empty() {
                                 doc.add_text(el, text);
                             }
@@ -583,7 +593,8 @@ impl InliningBackend {
                         // Interior inlined: emit wrapper only if any
                         // descendant carries data (presence is lossy).
                         if self.subtree_has_data(object, row_id, child, row)? {
-                            let el = doc.add_element(dom_parent, self.schema.node(child).name.clone());
+                            let el =
+                                doc.add_element(dom_parent, self.schema.node(child).name.clone());
                             self.rebuild_children(object, child, row, el, doc)?;
                         }
                     }
@@ -702,7 +713,9 @@ fn value_pred(text_col: usize, cond: &ElemCond) -> Expr {
                 _ => unreachable!(),
             };
             match &cond.value {
-                QValue::Num(n) => Expr::Cmp(op, Box::new(Expr::col(num_col)), Box::new(Expr::lit(*n))),
+                QValue::Num(n) => {
+                    Expr::Cmp(op, Box::new(Expr::col(num_col)), Box::new(Expr::lit(*n)))
+                }
                 QValue::Str(s) => {
                     Expr::Cmp(op, Box::new(Expr::col(text_col)), Box::new(Expr::lit(s.clone())))
                 }
@@ -804,7 +817,8 @@ mod tests {
         let id = b.ingest(FIG3_DOCUMENT).unwrap();
         // theme is tabled (repeats); themekey is a repeating leaf table.
         let q = ObjectQuery::new().attr(
-            AttrQuery::new("theme").elem(ElemCond::eq_str("themekey", "air_pressure_at_cloud_base")),
+            AttrQuery::new("theme")
+                .elem(ElemCond::eq_str("themekey", "air_pressure_at_cloud_base")),
         );
         assert_eq!(b.query(&q).unwrap(), vec![id]);
         // themekt is inlined into the theme table.
@@ -847,9 +861,8 @@ mod tests {
     fn leaf_structural_attribute() {
         let b = backend();
         let id = b.ingest(FIG3_DOCUMENT).unwrap();
-        let q = ObjectQuery::new().attr(
-            AttrQuery::new("resourceID").elem(ElemCond::eq_str("resourceID", "arps-run-42")),
-        );
+        let q = ObjectQuery::new()
+            .attr(AttrQuery::new("resourceID").elem(ElemCond::eq_str("resourceID", "arps-run-42")));
         assert_eq!(b.query(&q).unwrap(), vec![id]);
     }
 }

@@ -55,32 +55,41 @@ fn queries() -> Vec<(&'static str, ObjectQuery)> {
         ),
         (
             "dx-range",
-            ObjectQuery::new()
-                .attr(AttrQuery::new("grid").source("ARPS").elem(ElemCond::between("dx", 300.0, 800.0))),
+            ObjectQuery::new().attr(
+                AttrQuery::new("grid")
+                    .source("ARPS")
+                    .elem(ElemCond::between("dx", 300.0, 800.0)),
+            ),
         ),
         (
             "theme",
-            ObjectQuery::new().attr(AttrQuery::new("theme").elem(ElemCond::eq_str("themekey", "rain"))),
+            ObjectQuery::new()
+                .attr(AttrQuery::new("theme").elem(ElemCond::eq_str("themekey", "rain"))),
         ),
         (
             "theme-like",
-            ObjectQuery::new().attr(AttrQuery::new("theme").elem(ElemCond::like("themekey", "extra%"))),
+            ObjectQuery::new()
+                .attr(AttrQuery::new("theme").elem(ElemCond::like("themekey", "extra%"))),
         ),
         (
             "nested",
-            ObjectQuery::new().attr(
-                AttrQuery::new("grid").source("ARPS").sub(
-                    AttrQuery::new("grid-stretching")
-                        .source("ARPS")
-                        .elem(ElemCond::num("dzmin", QOp::Ge, 100.0)),
-                ),
-            ),
+            ObjectQuery::new().attr(AttrQuery::new("grid").source("ARPS").sub(
+                AttrQuery::new("grid-stretching").source("ARPS").elem(ElemCond::num(
+                    "dzmin",
+                    QOp::Ge,
+                    100.0,
+                )),
+            )),
         ),
         (
             "conj",
             ObjectQuery::new()
                 .attr(AttrQuery::new("theme").elem(ElemCond::eq_str("themekey", "snow")))
-                .attr(AttrQuery::new("grid").source("ARPS").elem(ElemCond::num("dx", QOp::Le, 500.0))),
+                .attr(AttrQuery::new("grid").source("ARPS").elem(ElemCond::num(
+                    "dx",
+                    QOp::Le,
+                    500.0,
+                ))),
         ),
         (
             "status",
@@ -89,7 +98,8 @@ fn queries() -> Vec<(&'static str, ObjectQuery)> {
         ),
         (
             "exists",
-            ObjectQuery::new().attr(AttrQuery::new("grid").source("ARPS").elem(ElemCond::exists("dx"))),
+            ObjectQuery::new()
+                .attr(AttrQuery::new("grid").source("ARPS").elem(ElemCond::exists("dx"))),
         ),
         (
             "miss",

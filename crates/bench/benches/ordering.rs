@@ -11,7 +11,8 @@ const FRAG: &str = "<theme><themekt>CF NetCDF</themekt><themekey>appended</theme
 
 fn bench_ordering(c: &mut Criterion) {
     for themes in [8usize, 64] {
-        let cfg = WorkloadConfig { themes_per_doc: themes, keys_per_theme: 4, ..Default::default() };
+        let cfg =
+            WorkloadConfig { themes_per_doc: themes, keys_per_theme: 4, ..Default::default() };
         let generator = generator(cfg);
         let doc = generator.generate(0);
         let nodes = {

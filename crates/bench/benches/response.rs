@@ -15,9 +15,7 @@ fn bench_response(c: &mut Criterion) {
         let ids: Vec<i64> = (1..=k as i64).collect();
         let mut group = c.benchmark_group(format!("e4_response_{k}"));
         for backend in &backends {
-            group.bench_function(backend.name(), |b| {
-                b.iter(|| backend.reconstruct(&ids).unwrap())
-            });
+            group.bench_function(backend.name(), |b| b.iter(|| backend.reconstruct(&ids).unwrap()));
         }
         group.finish();
     }

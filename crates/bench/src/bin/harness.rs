@@ -5,12 +5,17 @@
 //! cargo run --release -p mylead-bench --bin harness -- all
 //! cargo run --release -p mylead-bench --bin harness -- e2 e3 --quick
 //! ```
+//!
+//! `--json` additionally dumps the observability registry accumulated
+//! across the run (catalog spans, per-layer counters, latency
+//! histograms) to `BENCH_obs.json` for machine consumption.
 
 use benchkit::experiments::{self, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
     let scale = if quick { Scale::Quick } else { Scale::Full };
     let mut wanted: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
@@ -91,5 +96,13 @@ fn main() {
             other => eprintln!("unknown experiment: {other} (use e1..e8, figs, all)"),
         }
         eprintln!("[{w} took {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+
+    if json {
+        let path = "BENCH_obs.json";
+        match std::fs::write(path, obs::global().render_json()) {
+            Ok(()) => eprintln!("[observability registry written to {path}]"),
+            Err(e) => eprintln!("[cannot write {path}: {e}]"),
+        }
     }
 }

@@ -104,9 +104,12 @@ pub fn e2_query(scale: Scale) -> Result<(Table, Table)> {
     }
     let cat = hybrid.catalog();
     let mut abl = Table::new(&["query shape", "strategy", "median latency"]);
-    for (label, shape) in [("dyn eq", QueryShape::DynamicEq), ("nested depth 1", QueryShape::Nested(1))] {
+    for (label, shape) in
+        [("dyn eq", QueryShape::DynamicEq), ("nested depth 1", QueryShape::Nested(1))]
+    {
         let queries = QueryGenerator::new(&generator, 99).batch(shape, reps);
-        for (sname, strat) in [("exact", MatchStrategy::Exact), ("counted", MatchStrategy::Counted)] {
+        for (sname, strat) in [("exact", MatchStrategy::Exact), ("counted", MatchStrategy::Counted)]
+        {
             let secs = median_secs(1, || {
                 for q in &queries {
                     cat.query_with(q, strat).expect("query");
@@ -196,12 +199,7 @@ pub fn e4_response(scale: Scale) -> Result<Table> {
                 let docs = b.reconstruct(&ids).expect("reconstruct");
                 bytes = docs.iter().map(|(_, d)| d.len()).sum();
             });
-            t.row(vec![
-                k.to_string(),
-                b.name().to_string(),
-                fmt_secs(secs),
-                fmt_bytes(bytes),
-            ]);
+            t.row(vec![k.to_string(), b.name().to_string(), fmt_secs(secs), fmt_bytes(bytes)]);
         }
     }
     Ok(t)
@@ -335,9 +333,9 @@ pub fn e7_ordering(scale: Scale) -> Result<Table> {
         let cfg = WorkloadConfig { themes_per_doc: tp, keys_per_theme: 4, ..default() };
         let generator = generator(cfg);
         let doc = generator.generate(0);
-        let nodes = xmlkit::Document::parse(&doc)?.descendants(
-            xmlkit::Document::parse(&doc)?.root(),
-        ).count();
+        let nodes = xmlkit::Document::parse(&doc)?
+            .descendants(xmlkit::Document::parse(&doc)?.root())
+            .count();
 
         // Hybrid: append a theme attribute (new rows only).
         let cat = generator.catalog(CatalogConfig::default())?;

@@ -221,7 +221,10 @@ LEADresource {
 
     #[test]
     fn dynamic_annotation() {
-        let p = parse_annotated("r { leaf! d!!* { enttyp { enttypl enttypds } attr* { attrlabl attrv? ^attr } } }").unwrap();
+        let p = parse_annotated(
+            "r { leaf! d!!* { enttyp { enttypl enttypds } attr* { attrlabl attrv? ^attr } } }",
+        )
+        .unwrap();
         let s = p.schema();
         let d = s.resolve_path("/r/d").unwrap();
         assert_eq!(p.role(d), NodeRole::AttributeRoot { dynamic: true });

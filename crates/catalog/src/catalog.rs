@@ -125,11 +125,10 @@ impl MetadataCatalog {
         spec: &DynamicAttrSpec,
         level: DefLevel,
     ) -> Result<AttrId> {
-        let anchor = self
-            .partition
-            .schema()
-            .resolve_path(anchor_path)
-            .ok_or_else(|| CatalogError::Definition(format!("no schema node at {anchor_path}")))?;
+        let anchor =
+            self.partition.schema().resolve_path(anchor_path).ok_or_else(|| {
+                CatalogError::Definition(format!("no schema node at {anchor_path}"))
+            })?;
         let mut defs = self.defs.write();
         let id = defs.register_dynamic(&self.partition, &self.ordering, anchor, spec, level)?;
         store::sync_defs(&self.db, &defs)?;
@@ -139,10 +138,22 @@ impl MetadataCatalog {
     /// Parse and shred a document *without* storing it (the CPU-bound
     /// half of ingest; used by parallel ingest pipelines).
     pub fn shred_only(&self, xml: &str) -> Result<ShreddedDoc> {
-        let doc = Document::parse(xml)?;
+        let reg = obs::global();
+        let doc = {
+            let _span = reg.span("catalog.parse");
+            Document::parse(xml)?
+        };
         let defs = self.defs.read();
-        let shredder = Shredder::new(&self.partition, &self.ordering, &self.config.convention, self.config.shred.clone());
-        let out = shredder.shred(&doc, &defs)?;
+        let shredder = Shredder::new(
+            &self.partition,
+            &self.ordering,
+            &self.config.convention,
+            self.config.shred.clone(),
+        );
+        let out = {
+            let _span = reg.span("catalog.shred");
+            shredder.shred(&doc, &defs)?
+        };
         drop(defs);
         if self.config.auto_register && !out.inferred.is_empty() {
             // Register what the document taught us, then re-shred so its
@@ -152,20 +163,36 @@ impl MetadataCatalog {
                 for (anchor, spec) in &out.inferred {
                     // Races between ingest threads can register the same
                     // spec twice; the second registration fails benignly.
-                    let _ = defs.register_dynamic(&self.partition, &self.ordering, *anchor, spec, DefLevel::Admin);
+                    let _ = defs.register_dynamic(
+                        &self.partition,
+                        &self.ordering,
+                        *anchor,
+                        spec,
+                        DefLevel::Admin,
+                    );
                 }
                 store::sync_defs(&self.db, &defs)?;
             }
             let defs = self.defs.read();
-            let shredder =
-                Shredder::new(&self.partition, &self.ordering, &self.config.convention, self.config.shred.clone());
+            let shredder = Shredder::new(
+                &self.partition,
+                &self.ordering,
+                &self.config.convention,
+                self.config.shred.clone(),
+            );
+            let _span = reg.span("catalog.shred");
             return shredder.shred(&doc, &defs);
         }
         Ok(out)
     }
 
     /// Store a shredded document under a fresh object id.
-    pub fn apply(&self, shredded: &ShreddedDoc, owner: Option<&str>, name: Option<&str>) -> Result<i64> {
+    pub fn apply(
+        &self,
+        shredded: &ShreddedDoc,
+        owner: Option<&str>,
+        name: Option<&str>,
+    ) -> Result<i64> {
         let object_id = self.next_object.fetch_add(1, AtomicOrdering::Relaxed);
         self.db.insert(
             "objects",
@@ -181,6 +208,12 @@ impl MetadataCatalog {
 
     /// Insert a shredded batch's rows under an existing object id.
     fn apply_rows(&self, object_id: i64, shredded: &ShreddedDoc) -> Result<()> {
+        let reg = obs::global();
+        let _span = reg.span("catalog.apply");
+        reg.counter("catalog.shred.attr_rows").add(shredded.attrs.len() as u64);
+        reg.counter("catalog.shred.elem_rows").add(shredded.elems.len() as u64);
+        reg.counter("catalog.clob.bytes_written")
+            .add(shredded.clobs.iter().map(|c| c.xml.len() as u64).sum());
         let clob_rows: Vec<Vec<Value>> = shredded
             .clobs
             .iter()
@@ -273,7 +306,10 @@ impl MetadataCatalog {
             std::collections::HashMap::new();
         for row in self
             .db
-            .execute(&Plan::Scan { table: "attrs".into(), filter: Some(Expr::col_eq(0, object_id)) })?
+            .execute(&Plan::Scan {
+                table: "attrs".into(),
+                filter: Some(Expr::col_eq(0, object_id)),
+            })?
             .rows
         {
             if let (Some(a), Some(sq)) = (row[1].as_i64(), row[2].as_i64()) {
@@ -285,7 +321,10 @@ impl MetadataCatalog {
             std::collections::HashMap::new();
         for row in self
             .db
-            .execute(&Plan::Scan { table: "clobs".into(), filter: Some(Expr::col_eq(0, object_id)) })?
+            .execute(&Plan::Scan {
+                table: "clobs".into(),
+                filter: Some(Expr::col_eq(0, object_id)),
+            })?
             .rows
         {
             if let (Some(o), Some(cs)) = (row[2].as_i64(), row[3].as_i64()) {
@@ -307,14 +346,20 @@ impl MetadataCatalog {
 
     /// Ingest one document: parse, shred, validate, store.
     pub fn ingest(&self, xml: &str) -> Result<i64> {
+        let _span = obs::global().span("catalog.ingest");
         let shredded = self.shred_only(xml)?;
-        self.apply(&shredded, None, None)
+        let id = self.apply(&shredded, None, None)?;
+        obs::global().counter("catalog.ingest.docs").incr();
+        Ok(id)
     }
 
     /// Ingest with provenance metadata.
     pub fn ingest_as(&self, xml: &str, owner: &str, name: &str) -> Result<i64> {
+        let _span = obs::global().span("catalog.ingest");
         let shredded = self.shred_only(xml)?;
-        self.apply(&shredded, Some(owner), Some(name))
+        let id = self.apply(&shredded, Some(owner), Some(name))?;
+        obs::global().counter("catalog.ingest.docs").incr();
+        Ok(id)
     }
 
     /// Ingest many documents, shredding in parallel on `threads` worker
@@ -362,8 +407,19 @@ impl MetadataCatalog {
         run_flat_query(&self.db, &defs, q)
     }
 
+    /// Run the query's match plan under the profiler and render the
+    /// operator tree annotated with actual row counts and timings —
+    /// `EXPLAIN ANALYZE` for the catalog's query path. The analyzed
+    /// plan is exactly the one [`MetadataCatalog::query`] executes.
+    pub fn explain_analyze(&self, q: &ObjectQuery) -> Result<String> {
+        let defs = self.defs.read();
+        let plan = crate::engine::build_query_plan(&defs, q, self.config.strategy)?;
+        Ok(minidb::explain_analyze(&plan, &self.db)?)
+    }
+
     /// Reconstruct schema-ordered documents for `object_ids`.
     pub fn fetch_documents(&self, object_ids: &[i64]) -> Result<Vec<(i64, String)>> {
+        let _span = obs::global().span("catalog.response_build");
         response::build_documents(&self.db, object_ids)
     }
 
@@ -376,6 +432,7 @@ impl MetadataCatalog {
     /// Query then wrap matches in a `<results>` envelope.
     pub fn search_envelope(&self, q: &ObjectQuery) -> Result<String> {
         let ids = self.query(q)?;
+        let _span = obs::global().span("catalog.response_build");
         response::build_response_envelope(&self.db, &ids)
     }
 
@@ -383,7 +440,10 @@ impl MetadataCatalog {
     pub fn delete_object(&self, object_id: i64) -> Result<()> {
         let exists = !self
             .db
-            .execute(&Plan::Scan { table: "objects".into(), filter: Some(Expr::col_eq(0, object_id)) })?
+            .execute(&Plan::Scan {
+                table: "objects".into(),
+                filter: Some(Expr::col_eq(0, object_id)),
+            })?
             .rows
             .is_empty();
         if !exists {

@@ -42,12 +42,7 @@ pub(crate) fn create_collection_tables(db: &Database) -> Result<()> {
             Column::new("member_id", DataType::Int),
         ]),
     )?;
-    db.create_index(
-        "collection_members",
-        "members_pk",
-        &["coll_id", "kind", "member_id"],
-        true,
-    )?;
+    db.create_index("collection_members", "members_pk", &["coll_id", "kind", "member_id"], true)?;
     Ok(())
 }
 

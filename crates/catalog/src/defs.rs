@@ -98,7 +98,12 @@ pub struct DynamicAttrSpec {
 impl DynamicAttrSpec {
     /// New spec with no elements or subs.
     pub fn new(name: impl Into<String>, source: impl Into<String>) -> Self {
-        DynamicAttrSpec { name: name.into(), source: source.into(), elements: Vec::new(), subs: Vec::new() }
+        DynamicAttrSpec {
+            name: name.into(),
+            source: source.into(),
+            elements: Vec::new(),
+            subs: Vec::new(),
+        }
     }
 
     /// Add a typed element.
@@ -175,7 +180,12 @@ impl DefsRegistry {
         reg
     }
 
-    fn register_structural_children(&mut self, partition: &Partition, node: SchemaNodeId, attr: AttrId) {
+    fn register_structural_children(
+        &mut self,
+        partition: &Partition,
+        node: SchemaNodeId,
+        attr: AttrId,
+    ) {
         let schema = partition.schema().clone();
         for c in schema.node(node).children.iter() {
             let xmlkit::schema::ChildRef::Node(child) = c else {
@@ -397,7 +407,12 @@ impl DefsRegistry {
     }
 
     /// Resolve a dynamic top-level attribute by anchor + name + source.
-    pub fn resolve_dynamic_top(&self, anchor: SchemaNodeId, name: &str, source: &str) -> Option<AttrId> {
+    pub fn resolve_dynamic_top(
+        &self,
+        anchor: SchemaNodeId,
+        name: &str,
+        source: &str,
+    ) -> Option<AttrId> {
         self.dyn_top.get(&(anchor, name.to_string(), source.to_string())).copied()
     }
 
@@ -414,7 +429,12 @@ impl DefsRegistry {
     /// Resolve a *queryable* attribute by (name, source) regardless of
     /// nesting — used when shredding queries, which name attributes the
     /// way users think of them.
-    pub fn find_attr(&self, name: &str, source: Option<&str>, parent: Option<AttrId>) -> Option<&AttrDef> {
+    pub fn find_attr(
+        &self,
+        name: &str,
+        source: Option<&str>,
+        parent: Option<AttrId>,
+    ) -> Option<&AttrDef> {
         self.attrs.iter().find(|a| {
             a.name == name
                 && a.source.as_deref() == source
@@ -428,7 +448,12 @@ impl DefsRegistry {
     /// sub-attribute levels, exactly as the instance inverted list
     /// does ("a sub-attribute and any parent metadata attribute as
     /// well as intervening sub-attributes", §3).
-    pub fn find_attr_under(&self, name: &str, source: Option<&str>, ancestor: AttrId) -> Option<&AttrDef> {
+    pub fn find_attr_under(
+        &self,
+        name: &str,
+        source: Option<&str>,
+        ancestor: AttrId,
+    ) -> Option<&AttrDef> {
         self.attrs.iter().find(|a| {
             if a.name != name || a.source.as_deref() != source {
                 return false;
@@ -533,9 +558,11 @@ mod tests {
         let spec = DynamicAttrSpec::new("grid", "ARPS")
             .element("dx", ValueType::Float)
             .element("dz", ValueType::Float)
-            .sub(DynamicAttrSpec::new("grid-stretching", "ARPS")
-                .element("dzmin", ValueType::Float)
-                .element("reference-height", ValueType::Float));
+            .sub(
+                DynamicAttrSpec::new("grid-stretching", "ARPS")
+                    .element("dzmin", ValueType::Float)
+                    .element("reference-height", ValueType::Float),
+            );
         let grid = reg.register_dynamic(&p, &o, anchor, &spec, DefLevel::Admin).unwrap();
 
         assert_eq!(reg.resolve_dynamic_top(anchor, "grid", "ARPS"), Some(grid));
@@ -554,7 +581,13 @@ mod tests {
         let (s, p, o, mut reg) = setup();
         let anchor = s.resolve_path("/root/detailed").unwrap();
         let a = reg
-            .register_dynamic(&p, &o, anchor, &DynamicAttrSpec::new("grid", "ARPS"), DefLevel::Admin)
+            .register_dynamic(
+                &p,
+                &o,
+                anchor,
+                &DynamicAttrSpec::new("grid", "ARPS"),
+                DefLevel::Admin,
+            )
             .unwrap();
         let w = reg
             .register_dynamic(&p, &o, anchor, &DynamicAttrSpec::new("grid", "WRF"), DefLevel::Admin)
@@ -567,10 +600,22 @@ mod tests {
     fn duplicate_registration_rejected() {
         let (s, p, o, mut reg) = setup();
         let anchor = s.resolve_path("/root/detailed").unwrap();
-        reg.register_dynamic(&p, &o, anchor, &DynamicAttrSpec::new("grid", "ARPS"), DefLevel::Admin)
-            .unwrap();
+        reg.register_dynamic(
+            &p,
+            &o,
+            anchor,
+            &DynamicAttrSpec::new("grid", "ARPS"),
+            DefLevel::Admin,
+        )
+        .unwrap();
         let err = reg
-            .register_dynamic(&p, &o, anchor, &DynamicAttrSpec::new("grid", "ARPS"), DefLevel::Admin)
+            .register_dynamic(
+                &p,
+                &o,
+                anchor,
+                &DynamicAttrSpec::new("grid", "ARPS"),
+                DefLevel::Admin,
+            )
             .unwrap_err();
         assert!(matches!(err, CatalogError::Definition(_)));
     }

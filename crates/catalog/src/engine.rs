@@ -96,7 +96,11 @@ fn elem_pred(elem_id: ElemId, cond: &ElemCond) -> Expr {
             let (QValue::Num(lo), Some(QValue::Num(hi))) = (&cond.value, &cond.value2) else {
                 return Expr::lit(false);
             };
-            Expr::Between(Box::new(Expr::col(6)), Box::new(Expr::lit(*lo)), Box::new(Expr::lit(*hi)))
+            Expr::Between(
+                Box::new(Expr::col(6)),
+                Box::new(Expr::lit(*lo)),
+                Box::new(Expr::lit(*hi)),
+            )
         }
         QOp::Eq | QOp::Ne | QOp::Lt | QOp::Le | QOp::Gt | QOp::Ge => {
             let op = match cond.op {
@@ -110,7 +114,9 @@ fn elem_pred(elem_id: ElemId, cond: &ElemCond) -> Expr {
             };
             match &cond.value {
                 QValue::Num(n) => Expr::Cmp(op, Box::new(Expr::col(6)), Box::new(Expr::lit(*n))),
-                QValue::Str(s) => Expr::Cmp(op, Box::new(Expr::col(5)), Box::new(Expr::lit(s.clone()))),
+                QValue::Str(s) => {
+                    Expr::Cmp(op, Box::new(Expr::col(5)), Box::new(Expr::lit(s.clone())))
+                }
             }
         }
     };
@@ -125,7 +131,10 @@ fn direct_instances_plan(node: &ResolvedNode) -> Plan {
         return Plan::Distinct {
             input: Box::new(
                 Plan::Scan { table: "attrs".into(), filter: Some(Expr::col_eq(1, node.attr_id)) }
-                    .project(vec![(Expr::col(0), "object_id".into()), (Expr::col(2), "seq".into())]),
+                    .project(vec![
+                        (Expr::col(0), "object_id".into()),
+                        (Expr::col(2), "seq".into()),
+                    ]),
             ),
         };
     }
@@ -134,18 +143,19 @@ fn direct_instances_plan(node: &ResolvedNode) -> Plan {
         let cond_plan = Plan::Distinct {
             input: Box::new(
                 Plan::Scan { table: "elems".into(), filter: Some(elem_pred(*elem_id, cond)) }
-                    .project(vec![(Expr::col(0), "object_id".into()), (Expr::col(2), "seq".into())]),
+                    .project(vec![
+                        (Expr::col(0), "object_id".into()),
+                        (Expr::col(2), "seq".into()),
+                    ]),
             ),
         };
         plan = Some(match plan {
             None => cond_plan,
             Some(acc) => Plan::Distinct {
-                input: Box::new(
-                    acc.hash_join(cond_plan, vec![0, 1], vec![0, 1]).project(vec![
-                        (Expr::col(0), "object_id".into()),
-                        (Expr::col(1), "seq".into()),
-                    ]),
-                ),
+                input: Box::new(acc.hash_join(cond_plan, vec![0, 1], vec![0, 1]).project(vec![
+                    (Expr::col(0), "object_id".into()),
+                    (Expr::col(1), "seq".into()),
+                ])),
             },
         });
     }
@@ -163,28 +173,27 @@ fn exact_plan(node: &ResolvedNode) -> Plan {
         // Instance-level inverted list restricted to this parent-child
         // definition pair; distance=1 when the query demands direct
         // children.
-        let mut link_pred = Expr::and(
-            Expr::col_eq(1, child.attr_id),
-            Expr::col_eq(3, node.attr_id),
-        );
+        let mut link_pred =
+            Expr::and(Expr::col_eq(1, child.attr_id), Expr::col_eq(3, node.attr_id));
         if node.direct_subs {
             link_pred = Expr::and(link_pred, Expr::col_eq(5, 1i64));
         }
         let link = Plan::Scan { table: "attr_anc".into(), filter: Some(link_pred) };
         // child_sat (obj, seq) ⋈ link (obj=0, child seq=2) → parents (obj, anc_seq=4)
-        let parents = Plan::Distinct {
-            input: Box::new(
-                child_sat
-                    .hash_join(link, vec![0, 1], vec![0, 2])
-                    .project(vec![(Expr::col(2), "object_id".into()), (Expr::col(6), "seq".into())]),
-            ),
-        };
-        plan = Plan::Distinct {
-            input: Box::new(plan.hash_join(parents, vec![0, 1], vec![0, 1]).project(vec![
-                (Expr::col(0), "object_id".into()),
-                (Expr::col(1), "seq".into()),
-            ])),
-        };
+        let parents =
+            Plan::Distinct {
+                input: Box::new(child_sat.hash_join(link, vec![0, 1], vec![0, 2]).project(vec![
+                    (Expr::col(2), "object_id".into()),
+                    (Expr::col(6), "seq".into()),
+                ])),
+            };
+        plan =
+            Plan::Distinct {
+                input: Box::new(plan.hash_join(parents, vec![0, 1], vec![0, 1]).project(vec![
+                    (Expr::col(0), "object_id".into()),
+                    (Expr::col(1), "seq".into()),
+                ])),
+            };
     }
     plan
 }
@@ -197,17 +206,13 @@ fn counted_plan(top: &ResolvedNode) -> Plan {
         let mut plan = plan;
         for child in &node.children {
             let child_sat = direct_instances_plan(child);
-            let link_pred = Expr::and(
-                Expr::col_eq(1, child.attr_id),
-                Expr::col_eq(3, top_attr),
-            );
+            let link_pred = Expr::and(Expr::col_eq(1, child.attr_id), Expr::col_eq(3, top_attr));
             let link = Plan::Scan { table: "attr_anc".into(), filter: Some(link_pred) };
             let tops = Plan::Distinct {
-                input: Box::new(
-                    child_sat
-                        .hash_join(link, vec![0, 1], vec![0, 2])
-                        .project(vec![(Expr::col(2), "object_id".into()), (Expr::col(6), "seq".into())]),
-                ),
+                input: Box::new(child_sat.hash_join(link, vec![0, 1], vec![0, 2]).project(vec![
+                    (Expr::col(2), "object_id".into()),
+                    (Expr::col(6), "seq".into()),
+                ])),
             };
             plan = Plan::Distinct {
                 input: Box::new(plan.hash_join(tops, vec![0, 1], vec![0, 1]).project(vec![
@@ -223,13 +228,14 @@ fn counted_plan(top: &ResolvedNode) -> Plan {
     plan
 }
 
-/// Execute an [`ObjectQuery`]; returns sorted matching object ids.
-pub fn run_query(
-    db: &Database,
+/// Build the full match plan for an [`ObjectQuery`] without executing
+/// it. Shared by [`run_query`] and the catalog's `EXPLAIN ANALYZE`
+/// path, so the analyzed plan is exactly the executed plan.
+pub fn build_query_plan(
     defs: &DefsRegistry,
     query: &ObjectQuery,
     strategy: MatchStrategy,
-) -> Result<Vec<i64>> {
+) -> Result<Plan> {
     if query.attrs.is_empty() {
         return Err(CatalogError::BadQuery("query has no attribute criteria".into()));
     }
@@ -253,8 +259,26 @@ pub fn run_query(
             },
         });
     }
-    let plan = Plan::Sort { input: Box::new(obj_plan.expect("non-empty query")), keys: vec![(0, false)] };
-    let rs = db.execute(&plan)?;
+    Ok(Plan::Sort { input: Box::new(obj_plan.expect("non-empty query")), keys: vec![(0, false)] })
+}
+
+/// Execute an [`ObjectQuery`]; returns sorted matching object ids.
+pub fn run_query(
+    db: &Database,
+    defs: &DefsRegistry,
+    query: &ObjectQuery,
+    strategy: MatchStrategy,
+) -> Result<Vec<i64>> {
+    let reg = obs::global();
+    let plan = {
+        let _span = reg.span("catalog.query.plan_build");
+        build_query_plan(defs, query, strategy)?
+    };
+    let rs = {
+        let _span = reg.span("catalog.query.match");
+        db.execute(&plan)?
+    };
+    reg.counter("catalog.query.count").incr();
     Ok(rs
         .rows
         .into_iter()
@@ -280,7 +304,9 @@ pub fn run_flat_query(db: &Database, defs: &DefsRegistry, query: &ObjectQuery) -
             ));
         }
         per_attr_plans.push(Plan::Distinct {
-            input: Box::new(direct_instances_plan(&node).project(vec![(Expr::col(0), "object_id".into())])),
+            input: Box::new(
+                direct_instances_plan(&node).project(vec![(Expr::col(0), "object_id".into())]),
+            ),
         });
     }
     let mut it = per_attr_plans.into_iter();

@@ -173,14 +173,11 @@ pub const FIG3_DOCUMENT: &str = "<LEADresource>\
 /// equivalent of both the XQuery FLWOR and the Java `MyFile` listing.
 pub fn fig4_query() -> ObjectQuery {
     ObjectQuery::new().attr(
-        AttrQuery::new("grid")
-            .source("ARPS")
-            .elem(ElemCond::eq_num("dx", 1000.0))
-            .sub(
-                AttrQuery::new("grid-stretching")
-                    .source("ARPS")
-                    .elem(ElemCond::eq_num("dzmin", 100.0)),
-            ),
+        AttrQuery::new("grid").source("ARPS").elem(ElemCond::eq_num("dx", 1000.0)).sub(
+            AttrQuery::new("grid-stretching")
+                .source("ARPS")
+                .elem(ElemCond::eq_num("dzmin", 100.0)),
+        ),
     )
 }
 
@@ -204,7 +201,10 @@ mod tests {
         assert_eq!(o.order_of(s.resolve_path("/LEADresource/resourceID").unwrap()), Some(2));
         assert_eq!(o.order_of(s.resolve_path("/LEADresource/data").unwrap()), Some(3));
         assert_eq!(o.order_of(s.resolve_path("/LEADresource/data/idinfo").unwrap()), Some(4));
-        assert_eq!(o.order_of(s.resolve_path("/LEADresource/data/idinfo/status").unwrap()), Some(5));
+        assert_eq!(
+            o.order_of(s.resolve_path("/LEADresource/data/idinfo/status").unwrap()),
+            Some(5)
+        );
         let detailed = s.resolve_path(DETAILED_PATH).unwrap();
         assert_eq!(o.order_of(detailed), Some(22));
         let overview = s.resolve_path("/LEADresource/data/geospatial/eainfo/overview").unwrap();

@@ -52,6 +52,7 @@ pub mod store;
 
 /// Common imports for catalog users.
 pub mod prelude {
+    pub use crate::annotated::parse_annotated;
     pub use crate::catalog::{CatalogConfig, CatalogStats, MetadataCatalog};
     pub use crate::collections::CollectionId;
     pub use crate::context::ContextQuery;
@@ -60,7 +61,6 @@ pub mod prelude {
     pub use crate::error::{CatalogError, Result};
     pub use crate::ordering::{GlobalOrdering, OrderId};
     pub use crate::partition::{NodeRole, Partition, PartitionSpec};
-    pub use crate::annotated::parse_annotated;
     pub use crate::qparse::parse_query;
     pub use crate::query::{AttrQuery, ElemCond, ObjectQuery, QOp, QValue};
     pub use crate::sharded::ShardedCatalog;

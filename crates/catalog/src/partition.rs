@@ -79,15 +79,15 @@ impl Partition {
         let mut root_set: HashSet<SchemaNodeId> = HashSet::new();
         let mut dynamic_set: HashSet<SchemaNodeId> = HashSet::new();
         for p in &spec.structural {
-            let id = schema.resolve_path(p).ok_or_else(|| {
-                CatalogError::InvalidPartition(format!("no schema node at {p}"))
-            })?;
+            let id = schema
+                .resolve_path(p)
+                .ok_or_else(|| CatalogError::InvalidPartition(format!("no schema node at {p}")))?;
             root_set.insert(id);
         }
         for p in &spec.dynamic {
-            let id = schema.resolve_path(p).ok_or_else(|| {
-                CatalogError::InvalidPartition(format!("no schema node at {p}"))
-            })?;
+            let id = schema
+                .resolve_path(p)
+                .ok_or_else(|| CatalogError::InvalidPartition(format!("no schema node at {p}")))?;
             if !root_set.insert(id) {
                 return Err(CatalogError::InvalidPartition(format!(
                     "{p} marked both structural and dynamic"
@@ -358,9 +358,7 @@ mod tests {
 
     #[test]
     fn rule_recursion_must_be_covered() {
-        let s = Arc::new(
-            Schema::parse_dsl("r { leaf x { y ^x } }").unwrap(),
-        );
+        let s = Arc::new(Schema::parse_dsl("r { leaf x { y ^x } }").unwrap());
         let bad = PartitionSpec::default().attr("/r/leaf").attr("/r/x/y");
         let err = Partition::new(s, &bad).unwrap_err();
         assert!(matches!(err, CatalogError::InvalidPartition(m) if m.contains("recursive")));

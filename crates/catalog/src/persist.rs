@@ -27,7 +27,11 @@ impl MetadataCatalog {
     /// Load a catalog from a snapshot written by [`Self::save`]. The
     /// same partitioned schema (and convention/config) must be supplied;
     /// structural definitions are cross-checked against the snapshot.
-    pub fn load(path: impl AsRef<Path>, partition: Partition, config: CatalogConfig) -> Result<MetadataCatalog> {
+    pub fn load(
+        path: impl AsRef<Path>,
+        partition: Partition,
+        config: CatalogConfig,
+    ) -> Result<MetadataCatalog> {
         let db = Database::load_from(path)?;
         let ordering = GlobalOrdering::new(&partition);
         let mut defs = DefsRegistry::from_partition(&partition, &ordering);
@@ -44,9 +48,9 @@ impl MetadataCatalog {
             let name = row[1].as_str().ok_or_else(|| bad("attr_defs.name"))?;
             let dynamic = matches!(row[5], minidb::Value::Bool(true));
             if id <= structural_attrs {
-                let known = defs
-                    .attr(id)
-                    .ok_or_else(|| CatalogError::Definition(format!("snapshot attribute #{id} unknown")))?;
+                let known = defs.attr(id).ok_or_else(|| {
+                    CatalogError::Definition(format!("snapshot attribute #{id} unknown"))
+                })?;
                 if known.name != name || known.dynamic != dynamic {
                     return Err(CatalogError::Definition(format!(
                         "snapshot attribute #{id} ({name}) does not match the supplied schema \
@@ -155,7 +159,8 @@ mod tests {
 
         let path = tmp("roundtrip");
         cat.save(&path).unwrap();
-        let loaded = MetadataCatalog::load(&path, lead_partition(), CatalogConfig::default()).unwrap();
+        let loaded =
+            MetadataCatalog::load(&path, lead_partition(), CatalogConfig::default()).unwrap();
         std::fs::remove_file(&path).ok();
 
         // Stored data still answers the Fig-4 query and reconstructs.
@@ -207,7 +212,8 @@ mod tests {
         cat.add_object_to_collection(coll, id).unwrap();
         let path = tmp("collections");
         cat.save(&path).unwrap();
-        let loaded = MetadataCatalog::load(&path, lead_partition(), CatalogConfig::default()).unwrap();
+        let loaded =
+            MetadataCatalog::load(&path, lead_partition(), CatalogConfig::default()).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(loaded.collection_objects(coll).unwrap(), vec![id]);
         assert_eq!(loaded.query_in_collection(coll, &fig4_query()).unwrap(), vec![id]);

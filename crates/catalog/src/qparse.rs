@@ -183,9 +183,8 @@ impl<'a> Parser<'a> {
             Some(q @ ('\'' | '"')) => {
                 self.pos += 1;
                 let start = self.pos;
-                let end = self.src[start..]
-                    .find(q)
-                    .ok_or_else(|| self.err("unterminated string"))?;
+                let end =
+                    self.src[start..].find(q).ok_or_else(|| self.err("unterminated string"))?;
                 let s = self.src[start..start + end].to_string();
                 self.pos = start + end + 1;
                 Ok(QValue::Str(s))
@@ -198,7 +197,13 @@ impl<'a> Parser<'a> {
                     if c2 == '.' && self.src[self.pos..].starts_with("..") {
                         break;
                     }
-                    if c2.is_ascii_digit() || c2 == '.' || c2 == 'e' || c2 == 'E' || c2 == '-' || c2 == '+' {
+                    if c2.is_ascii_digit()
+                        || c2 == '.'
+                        || c2 == 'e'
+                        || c2 == 'E'
+                        || c2 == '-'
+                        || c2 == '+'
+                    {
                         self.pos += c2.len_utf8();
                     } else {
                         break;
@@ -238,10 +243,7 @@ mod tests {
     fn operators() {
         let q = parse_query("a[x!=1][y<2][z<=3][w>4][v>=5][u~'p%'][t]").unwrap();
         let ops: Vec<QOp> = q.attrs[0].elems.iter().map(|e| e.op).collect();
-        assert_eq!(
-            ops,
-            vec![QOp::Ne, QOp::Lt, QOp::Le, QOp::Gt, QOp::Ge, QOp::Like, QOp::Exists]
-        );
+        assert_eq!(ops, vec![QOp::Ne, QOp::Lt, QOp::Le, QOp::Gt, QOp::Ge, QOp::Like, QOp::Exists]);
     }
 
     #[test]

@@ -86,7 +86,12 @@ impl ElemCond {
 
     /// `name LIKE pattern`.
     pub fn like(name: impl Into<String>, pattern: impl Into<String>) -> ElemCond {
-        ElemCond { name: name.into(), op: QOp::Like, value: QValue::Str(pattern.into()), value2: None }
+        ElemCond {
+            name: name.into(),
+            op: QOp::Like,
+            value: QValue::Str(pattern.into()),
+            value2: None,
+        }
     }
 
     /// `lo <= name <= hi`.
@@ -126,7 +131,13 @@ pub struct AttrQuery {
 impl AttrQuery {
     /// Criterion on the named attribute.
     pub fn new(name: impl Into<String>) -> AttrQuery {
-        AttrQuery { name: name.into(), source: None, elems: Vec::new(), subs: Vec::new(), direct_subs: false }
+        AttrQuery {
+            name: name.into(),
+            source: None,
+            elems: Vec::new(),
+            subs: Vec::new(),
+            direct_subs: false,
+        }
     }
 
     /// Set the defining source (dynamic attributes).
@@ -192,14 +203,11 @@ mod tests {
     #[test]
     fn builder_mirrors_paper_example() {
         let q = ObjectQuery::new().attr(
-            AttrQuery::new("grid")
-                .source("ARPS")
-                .elem(ElemCond::eq_num("dx", 1000.0))
-                .sub(
-                    AttrQuery::new("grid-stretching")
-                        .source("ARPS")
-                        .elem(ElemCond::eq_num("dzmin", 100.0)),
-                ),
+            AttrQuery::new("grid").source("ARPS").elem(ElemCond::eq_num("dx", 1000.0)).sub(
+                AttrQuery::new("grid-stretching")
+                    .source("ARPS")
+                    .elem(ElemCond::eq_num("dzmin", 100.0)),
+            ),
         );
         assert_eq!(q.attrs.len(), 1);
         let grid = &q.attrs[0];

@@ -73,11 +73,7 @@ pub fn build_documents(db: &Database, object_ids: &[i64]) -> Result<Vec<(i64, St
         input: Box::new(
             clob_rows
                 .clone()
-                .hash_join(
-                    Plan::Scan { table: "order_anc".into(), filter: None },
-                    vec![3],
-                    vec![0],
-                )
+                .hash_join(Plan::Scan { table: "order_anc".into(), filter: None }, vec![3], vec![0])
                 // + order_anc: order_id=6, anc_order=7
                 .project(vec![
                     (Expr::col(0), "object_id".into()),
@@ -109,11 +105,7 @@ pub fn build_documents(db: &Database, object_ids: &[i64]) -> Result<Vec<(i64, St
         (Expr::col(4), "major".into()),
         (Expr::lit(K_CLOSE), "kind".into()),
         (
-            Expr::Arith(
-                minidb::ArithOp::Sub,
-                Box::new(Expr::lit(0i64)),
-                Box::new(Expr::col(1)),
-            ),
+            Expr::Arith(minidb::ArithOp::Sub, Box::new(Expr::lit(0i64)), Box::new(Expr::col(1))),
             "minor".into(),
         ),
         (Expr::col(3), "tag".into()),

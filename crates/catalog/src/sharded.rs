@@ -27,7 +27,11 @@ pub struct ShardedCatalog {
 
 impl ShardedCatalog {
     /// Create `shard_count` shards over the same partitioned schema.
-    pub fn new(partition: Partition, config: CatalogConfig, shard_count: usize) -> Result<ShardedCatalog> {
+    pub fn new(
+        partition: Partition,
+        config: CatalogConfig,
+        shard_count: usize,
+    ) -> Result<ShardedCatalog> {
         if shard_count == 0 {
             return Err(CatalogError::Definition("shard count must be positive".into()));
         }
@@ -44,7 +48,12 @@ impl ShardedCatalog {
 
     /// Register a dynamic attribute on *every* shard (definitions must
     /// agree across shards for queries to be meaningful).
-    pub fn register_dynamic(&self, anchor_path: &str, spec: &DynamicAttrSpec, level: DefLevel) -> Result<Vec<AttrId>> {
+    pub fn register_dynamic(
+        &self,
+        anchor_path: &str,
+        spec: &DynamicAttrSpec,
+        level: DefLevel,
+    ) -> Result<Vec<AttrId>> {
         self.shards
             .iter()
             .map(|s| s.register_dynamic(anchor_path, spec, level.clone()))
@@ -108,11 +117,8 @@ impl ShardedCatalog {
     /// Run a query on every shard concurrently and merge the ids.
     pub fn query(&self, q: &ObjectQuery) -> Result<Vec<i64>> {
         let results: Vec<Result<Vec<i64>>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .iter()
-                .map(|s| scope.spawn(move |_| s.query(q)))
-                .collect();
+            let handles: Vec<_> =
+                self.shards.iter().map(|s| scope.spawn(move |_| s.query(q))).collect();
             handles.into_iter().map(|h| h.join().expect("shard query panicked")).collect()
         })
         .expect("crossbeam scope");

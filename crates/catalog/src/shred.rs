@@ -205,7 +205,8 @@ impl<'a> Shredder<'a> {
         seq_seed: HashMap<AttrId, i64>,
         clob_seed: HashMap<OrderId, i64>,
     ) -> Result<ShreddedDoc> {
-        let mut state = ShredState { doc, out: ShreddedDoc::default(), seq: seq_seed, clob_seq: clob_seed };
+        let mut state =
+            ShredState { doc, out: ShreddedDoc::default(), seq: seq_seed, clob_seq: clob_seed };
         match self.partition.role(snode) {
             NodeRole::AttributeRoot { dynamic: true } => {
                 self.shred_dynamic(&mut state, defs, doc.root(), snode)?;
@@ -274,7 +275,13 @@ impl<'a> Shredder<'a> {
         *c
     }
 
-    fn emit_clob(&self, state: &mut ShredState<'_>, attr_id: AttrId, order: OrderId, dnode: NodeId) -> i64 {
+    fn emit_clob(
+        &self,
+        state: &mut ShredState<'_>,
+        attr_id: AttrId,
+        order: OrderId,
+        dnode: NodeId,
+    ) -> i64 {
         let clob_seq = Self::next_clob_seq(state, order);
         let mut xml = String::with_capacity(256);
         writer::write_subtree(state.doc, dnode, &mut xml);
@@ -305,7 +312,15 @@ impl<'a> Shredder<'a> {
         // Leaf attribute: the node is its own (single) element.
         if self.partition.schema().node(snode).is_leaf() {
             if let Some(elem_id) = defs.elem_for_node(snode) {
-                self.emit_elem(state, defs, attr_id, seq, elem_id, 1, state.doc.direct_text(dnode))?;
+                self.emit_elem(
+                    state,
+                    defs,
+                    attr_id,
+                    seq,
+                    elem_id,
+                    1,
+                    state.doc.direct_text(dnode),
+                )?;
             }
             return Ok(());
         }
@@ -340,7 +355,15 @@ impl<'a> Shredder<'a> {
                     continue;
                 };
                 elem_seq += 1;
-                self.emit_elem(state, defs, owner_attr, owner_seq, elem_id, elem_seq, state.doc.direct_text(child))?;
+                self.emit_elem(
+                    state,
+                    defs,
+                    owner_attr,
+                    owner_seq,
+                    elem_id,
+                    elem_seq,
+                    state.doc.direct_text(child),
+                )?;
             } else {
                 // Structural sub-attribute.
                 let Some(sub_id) = defs.attr_for_node(schild) else {
@@ -384,7 +407,9 @@ impl<'a> Shredder<'a> {
                 ValueType::Str => true,
                 ValueType::Int => value.trim().parse::<i64>().is_ok(),
                 ValueType::Float => num.is_some(),
-                ValueType::Bool => matches!(value.trim(), "true" | "false" | "0" | "1" | "TRUE" | "FALSE"),
+                ValueType::Bool => {
+                    matches!(value.trim(), "true" | "false" | "0" | "1" | "TRUE" | "FALSE")
+                }
             };
             if !ok {
                 let ename = defs.elem(elem_id).map(|e| e.name.clone()).unwrap_or_default();
@@ -394,7 +419,10 @@ impl<'a> Shredder<'a> {
                 )));
             }
         }
-        state.out.elems.push(ElemRow { attr_id, attr_seq, elem_id, elem_seq, value, num });
+        state
+            .out
+            .elems
+            .push(ElemRow { attr_id, attr_seq, elem_id, elem_seq, value, num });
         Ok(())
     }
 
@@ -420,7 +448,10 @@ impl<'a> Shredder<'a> {
                     self.emit_clob(state, anchor_def, order, dnode);
                     return Ok(());
                 };
-                (read_child_text(state.doc, h, &cv.head_name_tag), read_child_text(state.doc, h, &cv.head_source_tag))
+                (
+                    read_child_text(state.doc, h, &cv.head_name_tag),
+                    read_child_text(state.doc, h, &cv.head_source_tag),
+                )
             }
             None => (
                 read_child_text(state.doc, dnode, &cv.head_name_tag),
@@ -435,9 +466,9 @@ impl<'a> Shredder<'a> {
                 )));
             }
             state.out.unmatched.push(state.doc.path_of(dnode));
-            let anchor_def = defs
-                .attr_for_node(snode)
-                .ok_or_else(|| CatalogError::Definition("dynamic anchor has no definition".into()))?;
+            let anchor_def = defs.attr_for_node(snode).ok_or_else(|| {
+                CatalogError::Definition("dynamic anchor has no definition".into())
+            })?;
             self.emit_clob(state, anchor_def, order, dnode);
             return Ok(());
         };
@@ -446,16 +477,22 @@ impl<'a> Shredder<'a> {
             // Validation miss: keep the CLOB (anchored at the dynamic
             // anchor definition so the document reconstructs), skip
             // query-side shredding, and report an inferred spec.
-            state.out.unmatched.push(format!("{} ({name}, {source})", state.doc.path_of(dnode)));
-            state.out.inferred.push((snode, self.infer_spec(state.doc, dnode, &name, &source)));
+            state
+                .out
+                .unmatched
+                .push(format!("{} ({name}, {source})", state.doc.path_of(dnode)));
+            state
+                .out
+                .inferred
+                .push((snode, self.infer_spec(state.doc, dnode, &name, &source)));
             if self.options.strict_unknown {
                 return Err(CatalogError::Validation(format!(
                     "dynamic attribute ({name}, {source}) is not registered"
                 )));
             }
-            let anchor_def = defs
-                .attr_for_node(snode)
-                .ok_or_else(|| CatalogError::Definition("dynamic anchor has no definition".into()))?;
+            let anchor_def = defs.attr_for_node(snode).ok_or_else(|| {
+                CatalogError::Definition("dynamic anchor has no definition".into())
+            })?;
             self.emit_clob(state, anchor_def, order, dnode);
             return Ok(());
         };
@@ -560,14 +597,27 @@ impl<'a> Shredder<'a> {
     }
 
     /// Infer a registration spec from an unmatched dynamic subtree.
-    fn infer_spec(&self, doc: &Document, dnode: NodeId, name: &str, source: &str) -> DynamicAttrSpec {
+    fn infer_spec(
+        &self,
+        doc: &Document,
+        dnode: NodeId,
+        name: &str,
+        source: &str,
+    ) -> DynamicAttrSpec {
         let cv = self.convention;
-        fn walk(doc: &Document, node: NodeId, cv: &DynamicConvention, spec: &mut DynamicAttrSpec, source: &str) {
+        fn walk(
+            doc: &Document,
+            node: NodeId,
+            cv: &DynamicConvention,
+            spec: &mut DynamicAttrSpec,
+            source: &str,
+        ) {
             for child in doc.children_named(node, &cv.node_tag) {
                 let Some(name) = read_child_text(doc, child, &cv.name_tag) else {
                     continue;
                 };
-                let src = read_child_text(doc, child, &cv.source_tag).unwrap_or_else(|| source.to_string());
+                let src = read_child_text(doc, child, &cv.source_tag)
+                    .unwrap_or_else(|| source.to_string());
                 let has_subs = doc.children_named(child, &cv.node_tag).next().is_some();
                 if has_subs {
                     let mut sub = DynamicAttrSpec::new(name, src.clone());
@@ -575,7 +625,11 @@ impl<'a> Shredder<'a> {
                     spec.subs.push(sub);
                 } else if let Some(vn) = doc.child_named(child, &cv.value_tag) {
                     let v = doc.direct_text(vn);
-                    let dtype = if v.trim().parse::<f64>().is_ok() { ValueType::Float } else { ValueType::Str };
+                    let dtype = if v.trim().parse::<f64>().is_ok() {
+                        ValueType::Float
+                    } else {
+                        ValueType::Str
+                    };
                     spec.elements.push((name, dtype));
                 }
             }
@@ -788,9 +842,10 @@ mod tests {
         assert_eq!(spec.name, "mystery");
         assert_eq!(spec.elements.len(), 1);
         // Strict mode errors instead.
-        let err = Shredder::new(&p, &o, &cv, ShredOptions { strict_unknown: true, ..Default::default() })
-            .shred(&doc, &reg)
-            .unwrap_err();
+        let err =
+            Shredder::new(&p, &o, &cv, ShredOptions { strict_unknown: true, ..Default::default() })
+                .shred(&doc, &reg)
+                .unwrap_err();
         assert!(matches!(err, CatalogError::Validation(_)));
     }
 
@@ -819,9 +874,10 @@ mod tests {
         assert_eq!(out.elems.len(), 1);
         assert_eq!(out.elems[0].num, None);
         // Strict: rejected.
-        let err = Shredder::new(&p, &o, &cv, ShredOptions { strict_types: true, ..Default::default() })
-            .shred(&doc, &reg)
-            .unwrap_err();
+        let err =
+            Shredder::new(&p, &o, &cv, ShredOptions { strict_types: true, ..Default::default() })
+                .shred(&doc, &reg)
+                .unwrap_err();
         assert!(matches!(err, CatalogError::Validation(_)));
     }
 
@@ -830,7 +886,9 @@ mod tests {
         let (_, p, o, reg) = setup();
         let cv = DynamicConvention::default();
         let doc = Document::parse("<other/>").unwrap();
-        let err = Shredder::new(&p, &o, &cv, ShredOptions::default()).shred(&doc, &reg).unwrap_err();
+        let err = Shredder::new(&p, &o, &cv, ShredOptions::default())
+            .shred(&doc, &reg)
+            .unwrap_err();
         assert!(matches!(err, CatalogError::UnknownElement { .. }));
     }
 
@@ -841,9 +899,10 @@ mod tests {
         let doc = Document::parse("<root><bogus>1</bogus></root>").unwrap();
         let out = Shredder::new(&p, &o, &cv, ShredOptions::default()).shred(&doc, &reg).unwrap();
         assert_eq!(out.unmatched, vec!["/root/bogus"]);
-        let err = Shredder::new(&p, &o, &cv, ShredOptions { strict_unknown: true, ..Default::default() })
-            .shred(&doc, &reg)
-            .unwrap_err();
+        let err =
+            Shredder::new(&p, &o, &cv, ShredOptions { strict_unknown: true, ..Default::default() })
+                .shred(&doc, &reg)
+                .unwrap_err();
         assert!(matches!(err, CatalogError::UnknownElement { .. }));
     }
 
@@ -851,8 +910,14 @@ mod tests {
     fn multiple_dynamic_instances_clob_sequence() {
         let (s, p, o, mut reg) = setup();
         let anchor = s.resolve_path("/root/eainfo/detailed").unwrap();
-        reg.register_dynamic(&p, &o, anchor, &DynamicAttrSpec::new("radar", "NEXRAD"), DefLevel::Admin)
-            .unwrap();
+        reg.register_dynamic(
+            &p,
+            &o,
+            anchor,
+            &DynamicAttrSpec::new("radar", "NEXRAD"),
+            DefLevel::Admin,
+        )
+        .unwrap();
         let doc = Document::parse(
             "<root><eainfo>\
                <detailed><enttyp><enttypl>grid</enttypl><enttypds>ARPS</enttypds></enttyp></detailed>\

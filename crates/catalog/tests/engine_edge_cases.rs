@@ -63,7 +63,11 @@ fn per_object_split_matches_via_separate_criteria() {
         .unwrap();
     // Two *separate* top-level criteria may match different instances.
     let q = ObjectQuery::new()
-        .attr(AttrQuery::new("physics").source("WRF").elem(ElemCond::eq_str("scheme", "thompson")))
+        .attr(
+            AttrQuery::new("physics")
+                .source("WRF")
+                .elem(ElemCond::eq_str("scheme", "thompson")),
+        )
         .attr(AttrQuery::new("physics").source("WRF").elem(ElemCond::eq_num("level", 3.0)));
     assert_eq!(cat.query(&q).unwrap(), vec![b]);
 }
@@ -84,8 +88,11 @@ fn same_element_name_in_different_attributes_does_not_cross_match() {
     let q = ObjectQuery::new()
         .attr(AttrQuery::new("physics").source("WRF").elem(ElemCond::eq_str("scheme", "rrtm")));
     assert!(cat.query(&q).unwrap().is_empty());
-    let q2 = ObjectQuery::new()
-        .attr(AttrQuery::new("radiation").source("WRF").elem(ElemCond::eq_str("scheme", "rrtm")));
+    let q2 = ObjectQuery::new().attr(
+        AttrQuery::new("radiation")
+            .source("WRF")
+            .elem(ElemCond::eq_str("scheme", "rrtm")),
+    );
     assert_eq!(cat.query(&q2).unwrap(), vec![id]);
 }
 
@@ -111,24 +118,26 @@ fn direct_vs_descendant_linkage() {
     // Descendant linkage (default): nest{deep} matches even though deep
     // is two levels down.
     let q_desc = ObjectQuery::new().attr(
-        AttrQuery::new("nest").source("T").sub(
-            AttrQuery::new("deep").source("T").elem(ElemCond::eq_num("v", 1.0)),
-        ),
+        AttrQuery::new("nest")
+            .source("T")
+            .sub(AttrQuery::new("deep").source("T").elem(ElemCond::eq_num("v", 1.0))),
     );
     assert_eq!(cat.query(&q_desc).unwrap(), vec![id]);
     // Direct linkage: nest{deep} must NOT match (deep is not a direct child).
     let q_direct = ObjectQuery::new().attr(
-        AttrQuery::new("nest").source("T").direct().sub(
-            AttrQuery::new("deep").source("T").elem(ElemCond::eq_num("v", 1.0)),
-        ),
+        AttrQuery::new("nest")
+            .source("T")
+            .direct()
+            .sub(AttrQuery::new("deep").source("T").elem(ElemCond::eq_num("v", 1.0))),
     );
     assert!(cat.query(&q_direct).unwrap().is_empty());
     // Direct linkage through the full chain matches.
     let q_chain = ObjectQuery::new().attr(
         AttrQuery::new("nest").source("T").direct().sub(
-            AttrQuery::new("mid").source("T").direct().sub(
-                AttrQuery::new("deep").source("T").elem(ElemCond::eq_num("v", 1.0)),
-            ),
+            AttrQuery::new("mid")
+                .source("T")
+                .direct()
+                .sub(AttrQuery::new("deep").source("T").elem(ElemCond::eq_num("v", 1.0))),
         ),
     );
     assert_eq!(cat.query(&q_chain).unwrap(), vec![id]);
@@ -162,8 +171,11 @@ fn ne_semantics_is_exists_with_different_value() {
     let cat = cat();
     let a = cat.ingest(&doc(&physics("thompson", 1.0))).unwrap();
     let _b = cat.ingest(&doc("")).unwrap(); // no physics at all
-    let q = ObjectQuery::new()
-        .attr(AttrQuery::new("physics").source("WRF").elem(ElemCond::str("scheme", QOp::Ne, "lin")));
+    let q = ObjectQuery::new().attr(AttrQuery::new("physics").source("WRF").elem(ElemCond::str(
+        "scheme",
+        QOp::Ne,
+        "lin",
+    )));
     // Only objects *having* the attribute with a different value match —
     // absent attributes do not (standard predicate semantics).
     assert_eq!(cat.query(&q).unwrap(), vec![a]);
@@ -195,7 +207,10 @@ fn results_deduplicate_repeated_matches() {
             physics("thompson", 3.0)
         )))
         .unwrap();
-    let q = ObjectQuery::new()
-        .attr(AttrQuery::new("physics").source("WRF").elem(ElemCond::eq_str("scheme", "thompson")));
+    let q = ObjectQuery::new().attr(
+        AttrQuery::new("physics")
+            .source("WRF")
+            .elem(ElemCond::eq_str("scheme", "thompson")),
+    );
     assert_eq!(cat.query(&q).unwrap(), vec![id]);
 }

@@ -1,0 +1,67 @@
+//! `EXPLAIN ANALYZE` over the catalog's query path, pinned on the
+//! paper's Fig-4 nested dynamic-attribute query.
+
+use catalog::lead::{fig4_query, lead_catalog, FIG3_DOCUMENT};
+use catalog::prelude::*;
+
+#[test]
+fn explain_analyze_annotates_fig4_plan() {
+    let cat = lead_catalog(CatalogConfig::default()).unwrap();
+    let id = cat.ingest(FIG3_DOCUMENT).unwrap();
+    let q = fig4_query();
+    assert_eq!(cat.query(&q).unwrap(), vec![id], "fig-4 query matches the fig-3 document");
+
+    let text = cat.explain_analyze(&q).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+
+    // Every operator line carries actual rows and a timing.
+    assert!(lines.len() >= 8, "nested query should plan several operators:\n{text}");
+    for line in &lines {
+        assert!(
+            line.contains("(rows=") && line.contains("time="),
+            "unannotated line {line:?} in:\n{text}"
+        );
+    }
+
+    // Golden shape: sorted distinct object ids at the root, built from
+    // element-condition scans joined through the inverted list.
+    assert!(lines[0].starts_with("Sort"), "root is the object-id sort:\n{text}");
+    assert!(lines[0].contains("(rows=1 "), "one matching object at the root:\n{text}");
+    assert!(lines[1].trim_start().starts_with("Distinct"), "{text}");
+    assert!(text.contains("Scan elems"), "element conditions scan `elems`:\n{text}");
+    assert!(
+        text.contains("Scan attr_anc"),
+        "nested sub-attribute criteria go through the inverted list:\n{text}"
+    );
+    assert!(text.contains("HashJoin"), "{text}");
+
+    // The dx=1000 element condition emits exactly one instance row.
+    assert!(
+        lines.iter().any(|l| l.contains("Scan elems") && l.contains("rows=1 ")),
+        "fig-3 document has one dx=1000 element:\n{text}"
+    );
+}
+
+#[test]
+fn explain_matches_executed_strategy() {
+    // Counted vs exact produce different plan shapes; explain_analyze
+    // must follow the configured strategy.
+    let exact = lead_catalog(CatalogConfig::default()).unwrap();
+    exact.ingest(FIG3_DOCUMENT).unwrap();
+    let counted = lead_catalog(CatalogConfig {
+        strategy: MatchStrategy::Counted,
+        ..CatalogConfig::default()
+    })
+    .unwrap();
+    counted.ingest(FIG3_DOCUMENT).unwrap();
+
+    let q = fig4_query();
+    let exact_text = exact.explain_analyze(&q).unwrap();
+    let counted_text = counted.explain_analyze(&q).unwrap();
+    // Both strategies answer Fig 4 with one object; shapes may differ
+    // but both annotate and both resolve through the inverted list.
+    for text in [&exact_text, &counted_text] {
+        assert!(text.lines().next().unwrap().contains("(rows=1 "), "{text}");
+        assert!(text.contains("Scan attr_anc"), "{text}");
+    }
+}

@@ -74,10 +74,7 @@ fn process_step_order_survives_roundtrip() {
     // And the whole document equals the input (already in schema order).
     let a = Document::parse(&steps_doc(&steps)).unwrap();
     let b = Document::parse(&rebuilt).unwrap();
-    assert_eq!(
-        xmlkit::writer::to_string(&a, a.root()),
-        xmlkit::writer::to_string(&b, b.root())
-    );
+    assert_eq!(xmlkit::writer::to_string(&a, a.root()), xmlkit::writer::to_string(&b, b.root()));
 }
 
 #[test]

@@ -151,7 +151,8 @@ fn structural_attribute_queries() {
     let _id2 = cat.ingest(&doc_with(1.0, None, "air_pressure")).unwrap();
     // Query on the structural theme attribute.
     let q = ObjectQuery::new().attr(
-        AttrQuery::new("theme").elem(ElemCond::eq_str("themekey", "convective_precipitation_amount")),
+        AttrQuery::new("theme")
+            .elem(ElemCond::eq_str("themekey", "convective_precipitation_amount")),
     );
     assert_eq!(cat.query(&q).unwrap(), vec![id1]);
     // LIKE over string values.
@@ -170,7 +171,10 @@ fn range_and_comparison_queries() {
     let q = |cond| ObjectQuery::new().attr(AttrQuery::new("grid").source("ARPS").elem(cond));
     assert_eq!(cat.query(&q(ElemCond::num("dx", QOp::Lt, 600.0))).unwrap(), vec![ids[0], ids[1]]);
     assert_eq!(cat.query(&q(ElemCond::num("dx", QOp::Ge, 1000.0))).unwrap(), vec![ids[2], ids[3]]);
-    assert_eq!(cat.query(&q(ElemCond::between("dx", 400.0, 1500.0))).unwrap(), vec![ids[1], ids[2]]);
+    assert_eq!(
+        cat.query(&q(ElemCond::between("dx", 400.0, 1500.0))).unwrap(),
+        vec![ids[1], ids[2]]
+    );
     assert_eq!(cat.query(&q(ElemCond::exists("dx"))).unwrap(), ids);
 }
 
@@ -192,8 +196,11 @@ fn flat_query_fast_path_agrees() {
     for i in 0..10 {
         cat.ingest(&doc_with((i as f64) * 100.0, None, "k")).unwrap();
     }
-    let q = ObjectQuery::new()
-        .attr(AttrQuery::new("grid").source("ARPS").elem(ElemCond::num("dx", QOp::Ge, 500.0)));
+    let q = ObjectQuery::new().attr(AttrQuery::new("grid").source("ARPS").elem(ElemCond::num(
+        "dx",
+        QOp::Ge,
+        500.0,
+    )));
     let full = cat.query(&q).unwrap();
     let flat = cat.query_flat(&q).unwrap();
     assert_eq!(full, flat);
@@ -208,8 +215,8 @@ fn unknown_attribute_or_element_is_bad_query() {
     let unknown_attr =
         ObjectQuery::new().attr(AttrQuery::new("nope").source("ARPS").elem(ElemCond::exists("dx")));
     assert!(matches!(cat.query(&unknown_attr), Err(CatalogError::BadQuery(_))));
-    let unknown_elem =
-        ObjectQuery::new().attr(AttrQuery::new("grid").source("ARPS").elem(ElemCond::exists("nope")));
+    let unknown_elem = ObjectQuery::new()
+        .attr(AttrQuery::new("grid").source("ARPS").elem(ElemCond::exists("nope")));
     assert!(matches!(cat.query(&unknown_elem), Err(CatalogError::BadQuery(_))));
     let empty = ObjectQuery::new();
     assert!(matches!(cat.query(&empty), Err(CatalogError::BadQuery(_))));
@@ -217,8 +224,7 @@ fn unknown_attribute_or_element_is_bad_query() {
 
 #[test]
 fn auto_register_learns_new_dynamic_attributes() {
-    let mut config = CatalogConfig::default();
-    config.auto_register = true;
+    let config = CatalogConfig { auto_register: true, ..CatalogConfig::default() };
     let cat = MetadataCatalog::new(catalog::lead::lead_partition(), config).unwrap();
     register_arps_defs(&cat).unwrap();
     let doc = "<LEADresource><resourceID>x</resourceID><data>\
@@ -230,7 +236,9 @@ fn auto_register_learns_new_dynamic_attributes() {
     let id = cat.ingest(doc).unwrap();
     // The new definition is immediately queryable.
     let q = ObjectQuery::new().attr(
-        AttrQuery::new("microphysics").source("WRF").elem(ElemCond::eq_str("scheme", "thompson")),
+        AttrQuery::new("microphysics")
+            .source("WRF")
+            .elem(ElemCond::eq_str("scheme", "thompson")),
     );
     assert_eq!(cat.query(&q).unwrap(), vec![id]);
 }
@@ -349,10 +357,7 @@ fn sql_inspection_of_store() {
     let cat = cat();
     cat.ingest(FIG3_DOCUMENT).unwrap();
     // The store is a real relational database: inspect it with SQL.
-    let rs = cat
-        .db()
-        .execute_sql("SELECT COUNT(*) FROM clobs")
-        .unwrap();
+    let rs = cat.db().execute_sql("SELECT COUNT(*) FROM clobs").unwrap();
     assert_eq!(rs.rows[0][0], minidb::Value::Int(4));
     let rs = cat
         .db()
@@ -421,10 +426,7 @@ fn add_dynamic_attribute_to_existing_object() {
 fn add_attribute_rejects_unknown_object_and_tag() {
     let cat = cat();
     let id = cat.ingest(FIG3_DOCUMENT).unwrap();
-    assert!(matches!(
-        cat.add_attribute(9999, "<theme/>"),
-        Err(CatalogError::NoSuchObject(_))
-    ));
+    assert!(matches!(cat.add_attribute(9999, "<theme/>"), Err(CatalogError::NoSuchObject(_))));
     assert!(matches!(
         cat.add_attribute(id, "<keywords/>"), // a wrapper, not an attribute
         Err(CatalogError::BadQuery(_))

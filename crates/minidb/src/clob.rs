@@ -37,11 +37,7 @@ impl ClobStore {
 
     /// Fetch by locator (cheap handle clone).
     pub fn get(&self, id: ClobId) -> Result<Bytes> {
-        self.slots
-            .read()
-            .get(id as usize)
-            .cloned()
-            .ok_or(DbError::NoSuchClob(id))
+        self.slots.read().get(id as usize).cloned().ok_or(DbError::NoSuchClob(id))
     }
 
     /// Fetch as UTF-8 text.

@@ -11,11 +11,13 @@ use crate::clob::ClobStore;
 use crate::error::{DbError, Result};
 use crate::exec::{run_aggregate, run_hash_join, JoinKind, Plan, ResultSet};
 use crate::expr::Expr;
+use crate::profile::PlanProfile;
 use crate::table::{Row, Table, TableSchema};
 use crate::value::Value;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// An embedded, in-memory relational database.
 #[derive(Default)]
@@ -80,13 +82,17 @@ impl Database {
     }
 
     /// Create an index on a named table.
-    pub fn create_index(&self, table: &str, index: &str, columns: &[&str], unique: bool) -> Result<()> {
+    pub fn create_index(
+        &self,
+        table: &str,
+        index: &str,
+        columns: &[&str],
+        unique: bool,
+    ) -> Result<()> {
         let t = self.table(table)?;
         let mut guard = t.write();
-        let cols: Vec<usize> = columns
-            .iter()
-            .map(|c| guard.schema.col(c))
-            .collect::<Result<_>>()?;
+        let cols: Vec<usize> =
+            columns.iter().map(|c| guard.schema.col(c)).collect::<Result<_>>()?;
         guard.create_index(index, cols, unique)
     }
 
@@ -104,11 +110,45 @@ impl Database {
 
     /// Execute a physical plan to a materialized result.
     pub fn execute(&self, plan: &Plan) -> Result<ResultSet> {
-        match plan {
+        self.exec_node(plan, &mut None, &mut Vec::new())
+    }
+
+    /// Execute a plan while collecting per-operator row counts and
+    /// inclusive wall timings; operators are addressed by plan path
+    /// (see [`PlanProfile`]). Powers `EXPLAIN ANALYZE`
+    /// ([`crate::explain::explain_analyze`]).
+    pub fn execute_profiled(&self, plan: &Plan) -> Result<(ResultSet, PlanProfile)> {
+        let mut prof = Some(PlanProfile::default());
+        let rs = self.exec_node(plan, &mut prof, &mut Vec::new())?;
+        Ok((rs, prof.expect("profiler installed above")))
+    }
+
+    fn exec_child(
+        &self,
+        plan: &Plan,
+        prof: &mut Option<PlanProfile>,
+        path: &mut Vec<u16>,
+        input_no: u16,
+    ) -> Result<ResultSet> {
+        path.push(input_no);
+        let result = self.exec_node(plan, prof, path);
+        path.pop();
+        result
+    }
+
+    fn exec_node(
+        &self,
+        plan: &Plan,
+        prof: &mut Option<PlanProfile>,
+        path: &mut Vec<u16>,
+    ) -> Result<ResultSet> {
+        let start = prof.as_ref().map(|_| Instant::now());
+        let result = match plan {
             Plan::Scan { table, filter } => {
                 let t = self.table(table)?;
                 let guard = t.read();
-                let columns: Vec<String> = guard.schema.columns.iter().map(|c| c.name.clone()).collect();
+                let columns: Vec<String> =
+                    guard.schema.columns.iter().map(|c| c.name.clone()).collect();
                 let mut rows = Vec::with_capacity(guard.len());
                 match filter {
                     None => {
@@ -162,11 +202,11 @@ impl Database {
                                     }
                                 }
                             }
-                            return Ok(ResultSet { columns, rows });
-                        }
-                        for (_, r) in guard.scan() {
-                            if pred.matches(r)? {
-                                rows.push(r.clone());
+                        } else {
+                            for (_, r) in guard.scan() {
+                                if pred.matches(r)? {
+                                    rows.push(r.clone());
+                                }
                             }
                         }
                     }
@@ -176,7 +216,8 @@ impl Database {
             Plan::IndexLookup { table, index, key, filter } => {
                 let t = self.table(table)?;
                 let guard = t.read();
-                let columns: Vec<String> = guard.schema.columns.iter().map(|c| c.name.clone()).collect();
+                let columns: Vec<String> =
+                    guard.schema.columns.iter().map(|c| c.name.clone()).collect();
                 let idx = guard.index(index)?;
                 let rids: Vec<usize> = if key.len() < idx.columns.len() {
                     idx.prefix(key)
@@ -199,7 +240,8 @@ impl Database {
             Plan::IndexRange { table, index, lo, hi, filter } => {
                 let t = self.table(table)?;
                 let guard = t.read();
-                let columns: Vec<String> = guard.schema.columns.iter().map(|c| c.name.clone()).collect();
+                let columns: Vec<String> =
+                    guard.schema.columns.iter().map(|c| c.name.clone()).collect();
                 let idx = guard.index(index)?;
                 let rids = idx.range(lo.as_deref(), hi.as_deref());
                 let mut rows = Vec::with_capacity(rids.len());
@@ -219,7 +261,7 @@ impl Database {
                 Ok(ResultSet { columns: columns.clone(), rows: rows.clone() })
             }
             Plan::Filter { input, pred } => {
-                let mut rs = self.execute(input)?;
+                let mut rs = self.exec_child(input, prof, path, 0)?;
                 let mut kept = Vec::with_capacity(rs.rows.len());
                 for r in rs.rows.drain(..) {
                     if pred.matches(&r)? {
@@ -230,7 +272,7 @@ impl Database {
                 Ok(rs)
             }
             Plan::Project { input, exprs } => {
-                let rs = self.execute(input)?;
+                let rs = self.exec_child(input, prof, path, 0)?;
                 let columns: Vec<String> = exprs.iter().map(|(_, n)| n.clone()).collect();
                 let mut rows = Vec::with_capacity(rs.rows.len());
                 for r in &rs.rows {
@@ -243,13 +285,13 @@ impl Database {
                 Ok(ResultSet { columns, rows })
             }
             Plan::HashJoin { left, right, left_keys, right_keys, kind } => {
-                let l = self.execute(left)?;
-                let r = self.execute(right)?;
+                let l = self.exec_child(left, prof, path, 0)?;
+                let r = self.exec_child(right, prof, path, 1)?;
                 run_hash_join(l, r, left_keys, right_keys, *kind)
             }
             Plan::NestedLoopJoin { left, right, pred, kind } => {
-                let l = self.execute(left)?;
-                let r = self.execute(right)?;
+                let l = self.exec_child(left, prof, path, 0)?;
+                let r = self.exec_child(right, prof, path, 1)?;
                 let mut columns = l.columns.clone();
                 columns.extend(r.columns.iter().cloned());
                 let right_arity = r.columns.len();
@@ -277,11 +319,11 @@ impl Database {
                 Ok(ResultSet { columns, rows })
             }
             Plan::Aggregate { input, group_by, aggs } => {
-                let rs = self.execute(input)?;
+                let rs = self.exec_child(input, prof, path, 0)?;
                 run_aggregate(rs, group_by, aggs)
             }
             Plan::Sort { input, keys } => {
-                let mut rs = self.execute(input)?;
+                let mut rs = self.exec_child(input, prof, path, 0)?;
                 rs.rows.sort_by(|a, b| {
                     for &(col, desc) in keys {
                         let ord = a[col].total_cmp(&b[col]);
@@ -295,17 +337,22 @@ impl Database {
                 Ok(rs)
             }
             Plan::Distinct { input } => {
-                let mut rs = self.execute(input)?;
+                let mut rs = self.exec_child(input, prof, path, 0)?;
                 let mut seen = std::collections::HashSet::new();
                 rs.rows.retain(|r| seen.insert(r.clone()));
                 Ok(rs)
             }
             Plan::Limit { input, n } => {
-                let mut rs = self.execute(input)?;
+                let mut rs = self.exec_child(input, prof, path, 0)?;
                 rs.rows.truncate(*n);
                 Ok(rs)
             }
+        };
+        if let (Some(profile), Some(started), Ok(rs)) = (prof.as_mut(), start, &result) {
+            let nanos = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            profile.record(path.clone(), rs.rows.len() as u64, nanos);
         }
+        result
     }
 
     /// Delete rows matching `pred` from a table; returns the count.
@@ -362,14 +409,8 @@ mod tests {
             ],
         )
         .unwrap();
-        db.insert(
-            "dept",
-            vec![
-                vec!["eng".into(), "B1".into()],
-                vec!["ops".into(), "B2".into()],
-            ],
-        )
-        .unwrap();
+        db.insert("dept", vec![vec!["eng".into(), "B1".into()], vec!["ops".into(), "B2".into()]])
+            .unwrap();
         db
     }
 
@@ -524,9 +565,8 @@ mod tests {
                 let db = db.clone();
                 s.spawn(move || {
                     for _ in 0..200 {
-                        let rs = db
-                            .execute(&Plan::Scan { table: "emp".into(), filter: None })
-                            .unwrap();
+                        let rs =
+                            db.execute(&Plan::Scan { table: "emp".into(), filter: None }).unwrap();
                         assert!(rs.rows.len() >= 4);
                     }
                 });
@@ -534,7 +574,8 @@ mod tests {
             let dbw = db.clone();
             s.spawn(move || {
                 for i in 0..100 {
-                    dbw.insert("emp", vec![vec![(100 + i).into(), "new".into(), 1.into()]]).unwrap();
+                    dbw.insert("emp", vec![vec![(100 + i).into(), "new".into(), 1.into()]])
+                        .unwrap();
                 }
             });
         });

@@ -43,11 +43,8 @@ impl ResultSet {
     /// Render as an aligned text table (for examples and the harness).
     pub fn to_text(&self) -> String {
         let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
-        let rendered: Vec<Vec<String>> = self
-            .rows
-            .iter()
-            .map(|r| r.iter().map(|v| v.to_string()).collect())
-            .collect();
+        let rendered: Vec<Vec<String>> =
+            self.rows.iter().map(|r| r.iter().map(|v| v.to_string()).collect()).collect();
         for row in &rendered {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());
@@ -362,7 +359,11 @@ impl AggState {
 }
 
 /// Execute grouped aggregation over a materialized input.
-pub(crate) fn run_aggregate(input: ResultSet, group_by: &[usize], aggs: &[AggCall]) -> Result<ResultSet> {
+pub(crate) fn run_aggregate(
+    input: ResultSet,
+    group_by: &[usize],
+    aggs: &[AggCall],
+) -> Result<ResultSet> {
     let mut columns: Vec<String> = group_by.iter().map(|&i| input.columns[i].clone()).collect();
     columns.extend(aggs.iter().map(|a| a.name.clone()));
 
@@ -473,7 +474,14 @@ mod tests {
 
     #[test]
     fn hash_join_inner_and_left() {
-        let l = rs(&["id", "v"], vec![vec![1.into(), "a".into()], vec![2.into(), "b".into()], vec![Value::Null, "n".into()]]);
+        let l = rs(
+            &["id", "v"],
+            vec![
+                vec![1.into(), "a".into()],
+                vec![2.into(), "b".into()],
+                vec![Value::Null, "n".into()],
+            ],
+        );
         let r = rs(&["id", "w"], vec![vec![1.into(), "x".into()], vec![1.into(), "y".into()]]);
         let inner = run_hash_join(l.clone(), r.clone(), &[0], &[0], JoinKind::Inner).unwrap();
         assert_eq!(inner.rows.len(), 2);
@@ -536,12 +544,9 @@ mod tests {
     #[test]
     fn aggregate_distinct() {
         let input = rs(&["k"], vec![vec![1.into()], vec![1.into()], vec![2.into()]]);
-        let out = run_aggregate(
-            input,
-            &[],
-            &[AggCall::distinct_of(AggFunc::Count, Expr::col(0), "d")],
-        )
-        .unwrap();
+        let out =
+            run_aggregate(input, &[], &[AggCall::distinct_of(AggFunc::Count, Expr::col(0), "d")])
+                .unwrap();
         assert_eq!(out.rows[0][0], Value::Int(2));
     }
 

@@ -1,18 +1,36 @@
-//! Plan rendering (`EXPLAIN`-style).
+//! Plan rendering (`EXPLAIN` / `EXPLAIN ANALYZE`-style).
 //!
-//! Renders a [`Plan`] as an indented operator tree — used by tests to
-//! pin plan shapes (e.g. "the hybrid's nested query adds exactly one
-//! hash join per level") and by the examples for visibility into what
-//! the catalog actually executes.
+//! [`explain`] renders a [`Plan`] as an indented operator tree — used
+//! by tests to pin plan shapes (e.g. "the hybrid's nested query adds
+//! exactly one hash join per level") and by the examples for
+//! visibility into what the catalog actually executes.
+//! [`explain_analyze`] runs the plan and annotates the same tree with
+//! each operator's actual output rows and inclusive wall time.
 
+use crate::db::Database;
+use crate::error::Result;
 use crate::exec::{AggFunc, Plan};
 use crate::expr::{ArithOp, CmpOp, Expr};
+use crate::profile::{format_nanos, PlanProfile};
 
 /// Render `plan` as an indented tree.
 pub fn explain(plan: &Plan) -> String {
     let mut out = String::new();
-    walk(plan, 0, &mut out);
+    walk(plan, 0, &mut out, None, &mut Vec::new());
     out
+}
+
+/// Execute `plan` on `db` and render its tree with actual per-operator
+/// stats: `(rows=<emitted> time=<inclusive wall time>)`.
+///
+/// Timings are inclusive — an operator's time contains its inputs' —
+/// so the root line reads as total execution time and hot subtrees
+/// stay hot at every level up.
+pub fn explain_analyze(plan: &Plan, db: &Database) -> Result<String> {
+    let (_, profile) = db.execute_profiled(plan)?;
+    let mut out = String::new();
+    walk(plan, 0, &mut out, Some(&profile), &mut Vec::new());
+    Ok(out)
 }
 
 fn pad(depth: usize, out: &mut String) {
@@ -21,45 +39,33 @@ fn pad(depth: usize, out: &mut String) {
     }
 }
 
-fn walk(plan: &Plan, depth: usize, out: &mut String) {
-    pad(depth, out);
+fn node_label(plan: &Plan) -> String {
     match plan {
-        Plan::Scan { table, filter } => {
-            match filter {
-                Some(f) => out.push_str(&format!("Scan {table} filter={}\n", expr_str(f))),
-                None => out.push_str(&format!("Scan {table}\n")),
-            };
-        }
+        Plan::Scan { table, filter } => match filter {
+            Some(f) => format!("Scan {table} filter={}", expr_str(f)),
+            None => format!("Scan {table}"),
+        },
         Plan::IndexLookup { table, index, key, .. } => {
-            out.push_str(&format!("IndexLookup {table}.{index} key={key:?}\n"));
+            format!("IndexLookup {table}.{index} key={key:?}")
         }
-        Plan::IndexRange { table, index, .. } => {
-            out.push_str(&format!("IndexRange {table}.{index}\n"));
-        }
+        Plan::IndexRange { table, index, .. } => format!("IndexRange {table}.{index}"),
         Plan::Values { columns, rows } => {
-            out.push_str(&format!("Values [{}] x{}\n", columns.join(", "), rows.len()));
+            format!("Values [{}] x{}", columns.join(", "), rows.len())
         }
-        Plan::Filter { input, pred } => {
-            out.push_str(&format!("Filter {}\n", expr_str(pred)));
-            walk(input, depth + 1, out);
+        Plan::Filter { pred, .. } => format!("Filter {}", expr_str(pred)),
+        Plan::Project { exprs, .. } => {
+            let cols: Vec<String> =
+                exprs.iter().map(|(e, n)| format!("{n}={}", expr_str(e))).collect();
+            format!("Project [{}]", cols.join(", "))
         }
-        Plan::Project { input, exprs } => {
-            let cols: Vec<String> = exprs.iter().map(|(e, n)| format!("{n}={}", expr_str(e))).collect();
-            out.push_str(&format!("Project [{}]\n", cols.join(", ")));
-            walk(input, depth + 1, out);
+        Plan::HashJoin { left_keys, right_keys, kind, .. } => {
+            format!("HashJoin {kind:?} on {left_keys:?}={right_keys:?}")
         }
-        Plan::HashJoin { left, right, left_keys, right_keys, kind } => {
-            out.push_str(&format!("HashJoin {kind:?} on {left_keys:?}={right_keys:?}\n"));
-            walk(left, depth + 1, out);
-            walk(right, depth + 1, out);
-        }
-        Plan::NestedLoopJoin { left, right, pred, kind } => {
+        Plan::NestedLoopJoin { pred, kind, .. } => {
             let p = pred.as_ref().map(expr_str).unwrap_or_else(|| "true".into());
-            out.push_str(&format!("NestedLoopJoin {kind:?} on {p}\n"));
-            walk(left, depth + 1, out);
-            walk(right, depth + 1, out);
+            format!("NestedLoopJoin {kind:?} on {p}")
         }
-        Plan::Aggregate { input, group_by, aggs } => {
+        Plan::Aggregate { group_by, aggs, .. } => {
             let fns: Vec<String> = aggs
                 .iter()
                 .map(|a| {
@@ -73,21 +79,58 @@ fn walk(plan: &Plan, depth: usize, out: &mut String) {
                     format!("{}({})", f, a.arg.as_ref().map(expr_str).unwrap_or_else(|| "*".into()))
                 })
                 .collect();
-            out.push_str(&format!("Aggregate group_by={group_by:?} [{}]\n", fns.join(", ")));
-            walk(input, depth + 1, out);
+            format!("Aggregate group_by={group_by:?} [{}]", fns.join(", "))
         }
-        Plan::Sort { input, keys } => {
-            out.push_str(&format!("Sort {keys:?}\n"));
-            walk(input, depth + 1, out);
+        Plan::Sort { keys, .. } => format!("Sort {keys:?}"),
+        Plan::Distinct { .. } => "Distinct".to_string(),
+        Plan::Limit { n, .. } => format!("Limit {n}"),
+    }
+}
+
+/// Inputs in execution-path order (joins: left = 0, right = 1) —
+/// must match `Database::exec_node`'s child numbering.
+fn node_children(plan: &Plan) -> Vec<&Plan> {
+    match plan {
+        Plan::Scan { .. }
+        | Plan::IndexLookup { .. }
+        | Plan::IndexRange { .. }
+        | Plan::Values { .. } => vec![],
+        Plan::Filter { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::Aggregate { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Distinct { input }
+        | Plan::Limit { input, .. } => vec![input],
+        Plan::HashJoin { left, right, .. } | Plan::NestedLoopJoin { left, right, .. } => {
+            vec![left, right]
         }
-        Plan::Distinct { input } => {
-            out.push_str("Distinct\n");
-            walk(input, depth + 1, out);
+    }
+}
+
+fn walk(
+    plan: &Plan,
+    depth: usize,
+    out: &mut String,
+    prof: Option<&PlanProfile>,
+    path: &mut Vec<u16>,
+) {
+    pad(depth, out);
+    out.push_str(&node_label(plan));
+    if let Some(profile) = prof {
+        match profile.get(path) {
+            Some(stats) => out.push_str(&format!(
+                " (rows={} time={})",
+                stats.rows_out,
+                format_nanos(stats.nanos)
+            )),
+            None => out.push_str(" (not executed)"),
         }
-        Plan::Limit { input, n } => {
-            out.push_str(&format!("Limit {n}\n"));
-            walk(input, depth + 1, out);
-        }
+    }
+    out.push('\n');
+    for (input_no, child) in node_children(plan).into_iter().enumerate() {
+        path.push(input_no as u16);
+        walk(child, depth + 1, out, prof, path);
+        path.pop();
     }
 }
 
@@ -152,14 +195,65 @@ mod tests {
     }
 
     #[test]
+    fn analyze_annotates_every_operator() {
+        use crate::table::{Column, TableSchema};
+        use crate::value::DataType;
+
+        let db = Database::new();
+        db.create_table(
+            "t",
+            TableSchema::new(vec![
+                Column::new("id", DataType::Int),
+                Column::new("k", DataType::Int),
+            ]),
+        )
+        .unwrap();
+        db.insert("t", (0..10).map(|i| vec![i.into(), (i % 3).into()])).unwrap();
+        let plan = Plan::Scan { table: "t".into(), filter: None }
+            .filter(Expr::col_eq(1, 0))
+            .project(vec![(Expr::col(0), "id".into())]);
+        let text = explain_analyze(&plan, &db).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Same tree shape as EXPLAIN, each line annotated with stats.
+        assert!(lines[0].starts_with("Project") && lines[0].contains("(rows=4 time="));
+        assert!(lines[1].trim_start().starts_with("Filter") && lines[1].contains("rows=4"));
+        assert!(lines[2].trim_start().starts_with("Scan t") && lines[2].contains("rows=10"));
+    }
+
+    #[test]
+    fn profiled_execution_matches_plain() {
+        use crate::table::{Column, TableSchema};
+        use crate::value::DataType;
+
+        let db = Database::new();
+        db.create_table("t", TableSchema::new(vec![Column::new("id", DataType::Int)]))
+            .unwrap();
+        db.insert("t", (0..5).map(|i| vec![i.into()])).unwrap();
+        let plan = Plan::Scan { table: "t".into(), filter: None }.hash_join(
+            Plan::Scan { table: "t".into(), filter: None },
+            vec![0],
+            vec![0],
+        );
+        let plain = db.execute(&plan).unwrap();
+        let (profiled, profile) = db.execute_profiled(&plan).unwrap();
+        assert_eq!(plain.rows, profiled.rows);
+        // Root + both join inputs, addressed by path.
+        assert_eq!(profile.len(), 3);
+        assert_eq!(profile.root().unwrap().rows_out, 5);
+        assert_eq!(profile.get(&[0]).unwrap().rows_out, 5);
+        assert_eq!(profile.get(&[1]).unwrap().rows_out, 5);
+        // Inclusive timing: the root covers its inputs.
+        let root = profile.root().unwrap();
+        assert!(root.nanos >= profile.get(&[0]).unwrap().nanos);
+    }
+
+    #[test]
     fn expr_rendering() {
         let e = Expr::and(
             Expr::col_eq(0, "x"),
             Expr::Between(Box::new(Expr::col(1)), Box::new(Expr::lit(1)), Box::new(Expr::lit(2))),
         );
-        assert_eq!(
-            expr_str(&e),
-            "((#0 = Str(\"x\")) AND (#1 BETWEEN Int(1) AND Int(2)))"
-        );
+        assert_eq!(expr_str(&e), "((#0 = Str(\"x\")) AND (#1 BETWEEN Int(1) AND Int(2)))");
     }
 }

@@ -116,10 +116,9 @@ impl Expr {
     /// Evaluate against `row`.
     pub fn eval(&self, row: &Row) -> Result<Value> {
         match self {
-            Expr::Col(i) => row
-                .get(*i)
-                .cloned()
-                .ok_or_else(|| DbError::Plan(format!("column #{i} out of range (row arity {})", row.len()))),
+            Expr::Col(i) => row.get(*i).cloned().ok_or_else(|| {
+                DbError::Plan(format!("column #{i} out of range (row arity {})", row.len()))
+            }),
             Expr::Lit(v) => Ok(v.clone()),
             Expr::Cmp(op, a, b) => {
                 let va = a.eval(row)?;
@@ -164,7 +163,9 @@ impl Expr {
                 let vlo = lo.eval(row)?;
                 let vhi = hi.eval(row)?;
                 match (vx.sql_cmp(&vlo), vx.sql_cmp(&vhi)) {
-                    (Some(a), Some(b)) => Ok(Value::Bool(a != Ordering::Less && b != Ordering::Greater)),
+                    (Some(a), Some(b)) => {
+                        Ok(Value::Bool(a != Ordering::Less && b != Ordering::Greater))
+                    }
                     _ => Ok(Value::Null),
                 }
             }
@@ -374,7 +375,8 @@ mod tests {
     fn is_null_between_in() {
         assert!(Expr::IsNull(Box::new(Expr::col(2))).matches(&row()).unwrap());
         assert!(!Expr::IsNull(Box::new(Expr::col(0))).matches(&row()).unwrap());
-        let between = Expr::Between(Box::new(Expr::col(0)), Box::new(Expr::lit(5)), Box::new(Expr::lit(15)));
+        let between =
+            Expr::Between(Box::new(Expr::col(0)), Box::new(Expr::lit(5)), Box::new(Expr::lit(15)));
         assert!(between.matches(&row()).unwrap());
         let inlist = Expr::InList(Box::new(Expr::col(0)), vec![1.into(), 10.into()]);
         assert!(inlist.matches(&row()).unwrap());

@@ -108,7 +108,8 @@ impl<R: Read> Dec<R> {
         Ok(buf)
     }
     fn string(&mut self) -> Result<String> {
-        String::from_utf8(self.bytes()?).map_err(|_| DbError::Parse("snapshot: invalid UTF-8".into()))
+        String::from_utf8(self.bytes()?)
+            .map_err(|_| DbError::Parse("snapshot: invalid UTF-8".into()))
     }
     fn value(&mut self) -> Result<Value> {
         Ok(match self.u8()? {
@@ -343,7 +344,10 @@ mod tests {
         std::fs::remove_file(&path).ok();
         // id is NOT NULL: inserting NULL must fail.
         assert!(loaded
-            .insert("t", vec![vec![Value::Null, Value::Null, Value::Null, Value::Null, Value::Null]])
+            .insert(
+                "t",
+                vec![vec![Value::Null, Value::Null, Value::Null, Value::Null, Value::Null]]
+            )
             .is_err());
     }
 

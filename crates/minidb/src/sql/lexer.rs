@@ -25,9 +25,8 @@ impl Tok {
     }
 }
 
-const PUNCTS: &[&str] = &[
-    "<>", "!=", "<=", ">=", "(", ")", ",", ";", "*", "=", "<", ">", "+", "-", "/", "%", ".",
-];
+const PUNCTS: &[&str] =
+    &["<>", "!=", "<=", ">=", "(", ")", ",", ";", "*", "=", "<", ">", "+", "-", "/", "%", "."];
 
 /// Tokenize `src` into a vector of tokens.
 pub fn lex(src: &str) -> Result<Vec<Tok>> {
@@ -75,7 +74,8 @@ pub fn lex(src: &str) -> Result<Vec<Tok>> {
             out.push(Tok::Str(s));
             continue;
         }
-        if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) {
+        if c.is_ascii_digit() || (c == '.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()))
+        {
             let start = i;
             let mut is_float = false;
             while i < bytes.len() {
@@ -97,13 +97,15 @@ pub fn lex(src: &str) -> Result<Vec<Tok>> {
             }
             let text = &src[start..i];
             if is_float {
-                out.push(Tok::Float(text.parse().map_err(|_| {
-                    DbError::Parse(format!("bad float literal {text}"))
-                })?));
+                out.push(Tok::Float(
+                    text.parse()
+                        .map_err(|_| DbError::Parse(format!("bad float literal {text}")))?,
+                ));
             } else {
-                out.push(Tok::Int(text.parse().map_err(|_| {
-                    DbError::Parse(format!("bad integer literal {text}"))
-                })?));
+                out.push(Tok::Int(
+                    text.parse()
+                        .map_err(|_| DbError::Parse(format!("bad integer literal {text}")))?,
+                ));
             }
             continue;
         }

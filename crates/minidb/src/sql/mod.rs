@@ -31,7 +31,8 @@ mod tests {
 
     fn setup() -> Database {
         let db = Database::new();
-        db.execute_sql("CREATE TABLE emp (id INT NOT NULL, dept TEXT, salary INT)").unwrap();
+        db.execute_sql("CREATE TABLE emp (id INT NOT NULL, dept TEXT, salary INT)")
+            .unwrap();
         db.execute_sql("CREATE TABLE dept (name TEXT, building TEXT)").unwrap();
         db.execute_sql(
             "INSERT INTO emp VALUES (1, 'eng', 100), (2, 'eng', 120), (3, 'ops', 90), (4, 'hr', 80)",
@@ -44,7 +45,9 @@ mod tests {
     #[test]
     fn end_to_end_select() {
         let db = setup();
-        let rs = db.execute_sql("SELECT id, salary FROM emp WHERE dept = 'eng' ORDER BY salary DESC").unwrap();
+        let rs = db
+            .execute_sql("SELECT id, salary FROM emp WHERE dept = 'eng' ORDER BY salary DESC")
+            .unwrap();
         assert_eq!(rs.columns, vec!["id", "salary"]);
         assert_eq!(rs.rows[0][1], Value::Int(120));
         assert_eq!(rs.rows.len(), 2);
@@ -82,9 +85,7 @@ mod tests {
     fn having_filters_groups() {
         let db = setup();
         let rs = db
-            .execute_sql(
-                "SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept HAVING COUNT(*) > 1",
-            )
+            .execute_sql("SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept HAVING COUNT(*) > 1")
             .unwrap();
         assert_eq!(rs.rows.len(), 1);
         assert_eq!(rs.rows[0][0], Value::Str("eng".into()));
@@ -112,7 +113,8 @@ mod tests {
         let db = setup();
         let rs = db.execute_sql("DELETE FROM emp WHERE dept = 'eng'").unwrap();
         assert_eq!(rs.rows[0][0], Value::Int(2));
-        db.execute_sql("INSERT INTO emp (salary, id, dept) VALUES (55, 9, 'new')").unwrap();
+        db.execute_sql("INSERT INTO emp (salary, id, dept) VALUES (55, 9, 'new')")
+            .unwrap();
         let rs = db.execute_sql("SELECT * FROM emp WHERE id = 9").unwrap();
         assert_eq!(rs.rows[0][2], Value::Int(55));
     }
@@ -139,7 +141,9 @@ mod tests {
     #[test]
     fn arithmetic_projection() {
         let db = setup();
-        let rs = db.execute_sql("SELECT id, salary * 2 + 1 AS double FROM emp WHERE id = 1").unwrap();
+        let rs = db
+            .execute_sql("SELECT id, salary * 2 + 1 AS double FROM emp WHERE id = 1")
+            .unwrap();
         assert_eq!(rs.rows[0][1], Value::Int(201));
     }
 
@@ -175,14 +179,17 @@ mod update_tests {
     fn setup() -> Database {
         let db = Database::new();
         db.execute_sql("CREATE TABLE emp (id INT, dept TEXT, salary INT)").unwrap();
-        db.execute_sql("INSERT INTO emp VALUES (1, 'eng', 100), (2, 'eng', 120), (3, 'ops', 90)").unwrap();
+        db.execute_sql("INSERT INTO emp VALUES (1, 'eng', 100), (2, 'eng', 120), (3, 'ops', 90)")
+            .unwrap();
         db
     }
 
     #[test]
     fn update_with_where() {
         let db = setup();
-        let rs = db.execute_sql("UPDATE emp SET salary = salary + 10 WHERE dept = 'eng'").unwrap();
+        let rs = db
+            .execute_sql("UPDATE emp SET salary = salary + 10 WHERE dept = 'eng'")
+            .unwrap();
         assert_eq!(rs.rows[0][0], Value::Int(2));
         let rs = db.execute_sql("SELECT SUM(salary) FROM emp").unwrap();
         assert_eq!(rs.rows[0][0], Value::Int(100 + 120 + 20 + 90));
@@ -192,7 +199,9 @@ mod update_tests {
     fn update_all_rows_multiple_sets() {
         let db = setup();
         db.execute_sql("UPDATE emp SET dept = 'all', salary = 0").unwrap();
-        let rs = db.execute_sql("SELECT COUNT(*) FROM emp WHERE dept = 'all' AND salary = 0").unwrap();
+        let rs = db
+            .execute_sql("SELECT COUNT(*) FROM emp WHERE dept = 'all' AND salary = 0")
+            .unwrap();
         assert_eq!(rs.rows[0][0], Value::Int(3));
     }
 

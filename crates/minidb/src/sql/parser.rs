@@ -144,7 +144,9 @@ impl Parser {
             if self.eat_punct("(") {
                 match self.next() {
                     Some(Tok::Int(_)) => {}
-                    other => return Err(DbError::Parse(format!("expected length, found {other:?}"))),
+                    other => {
+                        return Err(DbError::Parse(format!("expected length, found {other:?}")))
+                    }
                 }
                 self.expect_punct(")")?;
             }
@@ -215,7 +217,9 @@ impl Parser {
             Some(Tok::Str(s)) if !neg => Ok(Value::Str(s)),
             Some(Tok::Ident(s)) if !neg && s.eq_ignore_ascii_case("null") => Ok(Value::Null),
             Some(Tok::Ident(s)) if !neg && s.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
-            Some(Tok::Ident(s)) if !neg && s.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
+            Some(Tok::Ident(s)) if !neg && s.eq_ignore_ascii_case("false") => {
+                Ok(Value::Bool(false))
+            }
             other => Err(DbError::Parse(format!("expected literal, found {other:?}"))),
         }
     }
@@ -277,7 +281,9 @@ impl Parser {
         let limit = if self.eat_kw("limit") {
             match self.next() {
                 Some(Tok::Int(n)) if n >= 0 => Some(n as usize),
-                other => return Err(DbError::Parse(format!("expected LIMIT count, found {other:?}"))),
+                other => {
+                    return Err(DbError::Parse(format!("expected LIMIT count, found {other:?}")))
+                }
             }
         } else {
             None
@@ -349,7 +355,11 @@ impl Parser {
                     "!=" => "<>",
                     o => o,
                 };
-                return Ok(SqlExpr::Binary { op: norm.into(), lhs: Box::new(lhs), rhs: Box::new(rhs) });
+                return Ok(SqlExpr::Binary {
+                    op: norm.into(),
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                });
             }
         }
         if self.eat_kw("is") {
@@ -362,14 +372,20 @@ impl Parser {
                 Some(Tok::Str(p)) => {
                     return Ok(SqlExpr::Like { expr: Box::new(lhs), pattern: p });
                 }
-                other => return Err(DbError::Parse(format!("expected LIKE pattern, found {other:?}"))),
+                other => {
+                    return Err(DbError::Parse(format!("expected LIKE pattern, found {other:?}")))
+                }
             }
         }
         if self.eat_kw("between") {
             let lo = self.add_expr()?;
             self.expect_kw("and")?;
             let hi = self.add_expr()?;
-            return Ok(SqlExpr::Between { expr: Box::new(lhs), lo: Box::new(lo), hi: Box::new(hi) });
+            return Ok(SqlExpr::Between {
+                expr: Box::new(lhs),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+            });
         }
         if self.eat_kw("in") {
             self.expect_punct("(")?;
@@ -450,7 +466,9 @@ impl Parser {
                 if up == "FALSE" {
                     return Ok(SqlExpr::Lit(Value::Bool(false)));
                 }
-                if matches!(up.as_str(), "COUNT" | "SUM" | "MIN" | "MAX" | "AVG") && self.eat_punct("(") {
+                if matches!(up.as_str(), "COUNT" | "SUM" | "MIN" | "MAX" | "AVG")
+                    && self.eat_punct("(")
+                {
                     if up == "COUNT" && self.eat_punct("*") {
                         self.expect_punct(")")?;
                         return Ok(SqlExpr::Agg { func: up, arg: None, distinct: false });

@@ -20,12 +20,7 @@ impl Scope {
         let guard = t.read();
         let binding = tref.binding().to_string();
         Ok(Scope {
-            cols: guard
-                .schema
-                .columns
-                .iter()
-                .map(|c| (binding.clone(), c.name.clone()))
-                .collect(),
+            cols: guard.schema.columns.iter().map(|c| (binding.clone(), c.name.clone())).collect(),
         })
     }
 
@@ -224,8 +219,10 @@ fn split_join_keys(
         let mut taken = false;
         if let SqlExpr::Binary { op, lhs, rhs } = &t {
             if op == "=" {
-                if let (SqlExpr::Col { table: lt, name: ln }, SqlExpr::Col { table: rt, name: rn }) =
-                    (lhs.as_ref(), rhs.as_ref())
+                if let (
+                    SqlExpr::Col { table: lt, name: ln },
+                    SqlExpr::Col { table: rt, name: rn },
+                ) = (lhs.as_ref(), rhs.as_ref())
                 {
                     let l_in_left = left.resolve(lt.as_deref(), ln).ok();
                     let r_in_right = right.resolve(rt.as_deref(), rn).ok();
@@ -282,18 +279,21 @@ pub fn plan_select(db: &Database, sel: &SelectStmt) -> Result<Plan> {
             if !residual.is_empty() {
                 // Residual conditions reference the concatenated row.
                 let _ = left_arity;
-                let pred = bind(&SqlExpr::Binary {
-                    op: "AND".into(),
-                    lhs: Box::new(residual[0].clone()),
-                    rhs: Box::new(residual.iter().skip(1).fold(
-                        SqlExpr::Lit(Value::Bool(true)),
-                        |acc, t| SqlExpr::Binary {
-                            op: "AND".into(),
-                            lhs: Box::new(acc),
-                            rhs: Box::new(t.clone()),
-                        },
-                    )),
-                }, &joined_scope)?;
+                let pred = bind(
+                    &SqlExpr::Binary {
+                        op: "AND".into(),
+                        lhs: Box::new(residual[0].clone()),
+                        rhs: Box::new(residual.iter().skip(1).fold(
+                            SqlExpr::Lit(Value::Bool(true)),
+                            |acc, t| SqlExpr::Binary {
+                                op: "AND".into(),
+                                lhs: Box::new(acc),
+                                rhs: Box::new(t.clone()),
+                            },
+                        )),
+                    },
+                    &joined_scope,
+                )?;
                 if kind == JoinKind::Left {
                     return Err(DbError::Plan(
                         "non-equi residual conditions on LEFT JOIN are not supported".into(),
@@ -314,8 +314,12 @@ pub fn plan_select(db: &Database, sel: &SelectStmt) -> Result<Plan> {
         };
     }
 
-    let is_agg_query =
-        !sel.group_by.is_empty() || sel.items.iter().any(|i| matches!(i, SelectItem::Expr { expr, .. } if has_agg(expr))) || sel.having.as_ref().map(has_agg).unwrap_or(false);
+    let is_agg_query = !sel.group_by.is_empty()
+        || sel
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Expr { expr, .. } if has_agg(expr)))
+        || sel.having.as_ref().map(has_agg).unwrap_or(false);
 
     // Projections and (optionally) aggregation.
     let mut out_names: Vec<String> = Vec::new();
@@ -457,10 +461,8 @@ pub fn execute_stmt(db: &Database, stmt: &Stmt) -> Result<ResultSet> {
                 None => None,
                 Some(cols) => {
                     let guard = t.read();
-                    let positions: Vec<usize> = cols
-                        .iter()
-                        .map(|c| guard.schema.col(c))
-                        .collect::<Result<_>>()?;
+                    let positions: Vec<usize> =
+                        cols.iter().map(|c| guard.schema.col(c)).collect::<Result<_>>()?;
                     if positions.len() != guard.schema.arity() {
                         return Err(DbError::Plan(
                             "INSERT column list must cover all columns".into(),
@@ -492,10 +494,7 @@ pub fn execute_stmt(db: &Database, stmt: &Stmt) -> Result<ResultSet> {
                 guard.insert(actual)?;
                 n += 1;
             }
-            Ok(ResultSet {
-                columns: vec!["inserted".into()],
-                rows: vec![vec![Value::Int(n)]],
-            })
+            Ok(ResultSet { columns: vec!["inserted".into()], rows: vec![vec![Value::Int(n)]] })
         }
         Stmt::Update { table, sets, where_ } => {
             let t = db.table(table)?;
@@ -509,20 +508,16 @@ pub fn execute_stmt(db: &Database, stmt: &Stmt) -> Result<ResultSet> {
                         .map(|c| (table.clone(), c.name.clone()))
                         .collect(),
                 };
-                let positions: Vec<usize> = sets
-                    .iter()
-                    .map(|(c, _)| guard.schema.col(c))
-                    .collect::<Result<_>>()?;
+                let positions: Vec<usize> =
+                    sets.iter().map(|(c, _)| guard.schema.col(c)).collect::<Result<_>>()?;
                 (scope, positions)
             };
             let pred = match where_ {
                 None => None,
                 Some(w) => Some(bind(w, &scope)?),
             };
-            let bound_sets: Vec<Expr> = sets
-                .iter()
-                .map(|(_, e)| bind(e, &scope))
-                .collect::<Result<_>>()?;
+            let bound_sets: Vec<Expr> =
+                sets.iter().map(|(_, e)| bind(e, &scope)).collect::<Result<_>>()?;
             let mut guard = t.write();
             let victims: Vec<crate::table::RowId> = guard
                 .scan()
@@ -539,10 +534,7 @@ pub fn execute_stmt(db: &Database, stmt: &Stmt) -> Result<ResultSet> {
             for rid in victims {
                 let new_values: Vec<Value> = {
                     let row = guard.get(rid).expect("victim row is live").clone();
-                    bound_sets
-                        .iter()
-                        .map(|e| e.eval(&row))
-                        .collect::<Result<_>>()?
+                    bound_sets.iter().map(|e| e.eval(&row)).collect::<Result<_>>()?
                 };
                 guard.update(rid, |row| {
                     for (&pos, v) in positions.iter().zip(new_values) {
@@ -551,10 +543,7 @@ pub fn execute_stmt(db: &Database, stmt: &Stmt) -> Result<ResultSet> {
                 })?;
                 n += 1;
             }
-            Ok(ResultSet {
-                columns: vec!["updated".into()],
-                rows: vec![vec![Value::Int(n)]],
-            })
+            Ok(ResultSet { columns: vec!["updated".into()], rows: vec![vec![Value::Int(n)]] })
         }
         Stmt::Delete { table, where_ } => {
             let n = match where_ {

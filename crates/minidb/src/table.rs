@@ -186,7 +186,12 @@ impl Table {
 
     /// Add a secondary index named `name` over `columns`; existing rows
     /// are indexed immediately.
-    pub fn create_index(&mut self, name: impl Into<String>, columns: Vec<usize>, unique: bool) -> Result<()> {
+    pub fn create_index(
+        &mut self,
+        name: impl Into<String>,
+        columns: Vec<usize>,
+        unique: bool,
+    ) -> Result<()> {
         let name = name.into();
         if self.indexes.iter().any(|i| i.name == name) {
             return Err(DbError::TableExists(format!("index {name}")));
@@ -221,7 +226,9 @@ impl Table {
 
     /// Find an index whose key columns start with `cols` (exact order).
     pub fn index_covering(&self, cols: &[usize]) -> Option<&Index> {
-        self.indexes.iter().find(|i| i.columns.len() >= cols.len() && i.columns[..cols.len()] == *cols)
+        self.indexes
+            .iter()
+            .find(|i| i.columns.len() >= cols.len() && i.columns[..cols.len()] == *cols)
     }
 
     /// All indexes.
@@ -395,7 +402,10 @@ mod tests {
     #[test]
     fn schema_enforced() {
         let mut t = people();
-        assert!(matches!(t.insert(vec![4.into(), Value::Null, Value::Null]), Err(DbError::SchemaMismatch(_))));
+        assert!(matches!(
+            t.insert(vec![4.into(), Value::Null, Value::Null]),
+            Err(DbError::SchemaMismatch(_))
+        ));
         assert!(matches!(t.insert(vec![4.into(), "d".into()]), Err(DbError::SchemaMismatch(_))));
         assert!(matches!(
             t.insert(vec!["x".into(), "d".into(), Value::Null]),
@@ -454,7 +464,10 @@ mod tests {
     fn composite_index_prefix() {
         let mut t = Table::new(
             "t",
-            TableSchema::new(vec![Column::new("a", DataType::Int), Column::new("b", DataType::Int)]),
+            TableSchema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("b", DataType::Int),
+            ]),
         );
         for a in 0..3i64 {
             for b in 0..4i64 {

@@ -333,7 +333,10 @@ mod tests {
         assert_eq!(Value::parse_as("100.000", DataType::Float), Some(Value::Float(100.0)));
         assert_eq!(Value::parse_as("true", DataType::Bool), Some(Value::Bool(true)));
         assert_eq!(Value::parse_as("x", DataType::Int), None);
-        assert_eq!(Value::parse_as("keep  spaces", DataType::Text), Some(Value::Str("keep  spaces".into())));
+        assert_eq!(
+            Value::parse_as("keep  spaces", DataType::Text),
+            Some(Value::Str("keep  spaces".into()))
+        );
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Observability layer for the myLEAD catalog stack.
+//!
+//! Dependency-light (std + `parking_lot`): a process-global
+//! [`MetricsRegistry`] of named [`Counter`]s, [`Gauge`]s, and
+//! log-scaled latency [`Histogram`]s, plus [`Span`] timers that feed
+//! histograms and a bounded ring of slow-operation events.
+//!
+//! # Naming
+//!
+//! Metric and span names follow `layer.operation[.qualifier]`, e.g.
+//! `catalog.shred`, `minidb.execute`, `service.request.query`,
+//! `service.errors.oversized`. Dots sort related metrics together in
+//! snapshots; every layer creates its instruments lazily through the
+//! registry, so an idle layer contributes nothing.
+//!
+//! # Reading latencies
+//!
+//! Histograms bucket durations on a log scale (four sub-buckets per
+//! power of two, ≤ 12.5% representative error). Snapshots report
+//! `count`, `p50_us`, `p95_us`, `p99_us`, and `max_us` per histogram.
+//!
+//! # Typical use
+//!
+//! ```
+//! let reg = obs::MetricsRegistry::new();
+//! reg.counter("catalog.ingest.docs").incr();
+//! {
+//!     let _span = reg.span("catalog.shred");
+//!     // ... timed work ...
+//! }
+//! assert_eq!(reg.counter("catalog.ingest.docs").get(), 1);
+//! assert_eq!(reg.histogram("catalog.shred").count(), 1);
+//! ```
+//!
+//! Layers that should share one view of the process use
+//! [`global()`].
+
+mod metrics;
+mod registry;
+mod span;
+
+pub use metrics::{Counter, Gauge, Histogram};
+pub use registry::{MetricsRegistry, SlowEvent};
+pub use span::Span;
+
+use std::sync::OnceLock;
+
+/// The process-global registry shared by all instrumented layers.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}

@@ -1,0 +1,84 @@
+//! RAII span timers.
+
+use std::time::Instant;
+
+use crate::registry::MetricsRegistry;
+
+/// Times a region of code; on drop, records the elapsed wall time
+/// into the histogram named after the span and — when the registry's
+/// slow threshold is set and exceeded — into the slow-event ring.
+///
+/// Created via [`MetricsRegistry::span`]. Attach context for the slow
+/// log (e.g. the query text) with [`Span::set_detail`].
+#[must_use = "a span measures until dropped; binding it to _ drops it immediately"]
+pub struct Span<'a> {
+    registry: &'a MetricsRegistry,
+    name: &'static str,
+    start: Instant,
+    detail: Option<String>,
+}
+
+impl<'a> Span<'a> {
+    pub(crate) fn start(registry: &'a MetricsRegistry, name: &'static str) -> Span<'a> {
+        Span { registry, name, start: Instant::now(), detail: None }
+    }
+
+    /// Attach context shown in the slow log if this span is slow.
+    pub fn set_detail(&mut self, detail: impl Into<String>) {
+        self.detail = Some(detail.into());
+    }
+
+    /// Elapsed time so far, without ending the span.
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let nanos = self.elapsed_nanos();
+        self.registry.histogram(self.name).record(nanos);
+        let threshold = self.registry.slow_threshold_nanos();
+        if threshold > 0 && nanos >= threshold {
+            self.registry.record_slow(self.name, nanos, self.detail.take());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn span_feeds_histogram() {
+        let reg = MetricsRegistry::new();
+        {
+            let _span = reg.span("layer.op");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let h = reg.histogram("layer.op");
+        assert_eq!(h.count(), 1);
+        assert!(h.max_nanos() >= 2_000_000, "slept 2ms, saw {}", h.max_nanos());
+    }
+
+    #[test]
+    fn slow_span_lands_in_ring_with_detail() {
+        let reg = MetricsRegistry::new();
+        reg.set_slow_threshold(Duration::from_nanos(1));
+        {
+            let mut span = reg.span("layer.slow");
+            span.set_detail("SELECT everything");
+        }
+        let events = reg.slow_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "layer.slow");
+        assert_eq!(events[0].detail.as_deref(), Some("SELECT everything"));
+
+        // Fast spans stay out when the threshold is high.
+        reg.set_slow_threshold(Duration::from_secs(60));
+        drop(reg.span("layer.fast"));
+        assert_eq!(reg.slow_events().len(), 1);
+    }
+}

@@ -85,7 +85,8 @@ impl CatalogClient {
         writeln!(self.writer, "INGEST {}", xml.len())?;
         self.writer.write_all(xml.as_bytes())?;
         let rest = self.read_status()?;
-        rest.parse().map_err(|_| ClientError::Protocol(format!("bad object id {rest:?}")))
+        rest.parse()
+            .map_err(|_| ClientError::Protocol(format!("bad object id {rest:?}")))
     }
 
     /// Append an attribute instance to an existing object.
@@ -138,6 +139,20 @@ impl CatalogClient {
                 Some((k.to_string(), v.parse().ok()?))
             })
             .collect())
+    }
+
+    /// Dump the server's slow-query ring, one event per line.
+    pub fn slowlog(&mut self) -> Result<String> {
+        writeln!(self.writer, "SLOWLOG")?;
+        let header = self.read_status()?;
+        self.read_sized_body(&header)
+    }
+
+    /// Set the server's slow-query threshold in milliseconds
+    /// (0 disables the slow log).
+    pub fn set_slow_threshold_ms(&mut self, ms: u64) -> Result<()> {
+        writeln!(self.writer, "SLOWLOG {ms}")?;
+        self.read_status().map(|_| ())
     }
 
     /// Close the session politely.

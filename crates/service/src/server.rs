@@ -1,4 +1,13 @@
 //! Threaded TCP server exposing a [`MetadataCatalog`].
+//!
+//! Every request is instrumented through [`obs::global`]: request
+//! counters and latency histograms per operation
+//! (`service.requests.<op>`, `service.request.<op>`), error counters
+//! by kind (`service.errors.{malformed, oversized, catalog,
+//! connection, unknown}`), body-byte accounting, and an in-flight
+//! connection gauge. `STATS` returns the full registry snapshot;
+//! `SLOWLOG` reads (and `SLOWLOG <ms>` configures) the slow-query
+//! ring.
 
 use catalog::catalog::MetadataCatalog;
 use catalog::qparse::parse_query;
@@ -42,8 +51,16 @@ impl CatalogServer {
                     Ok((stream, _)) => {
                         let catalog = catalog.clone();
                         std::thread::spawn(move || {
+                            let reg = obs::global();
+                            reg.gauge("service.connections").add(1);
                             let _ = stream.set_nodelay(true);
-                            let _ = serve_connection(stream, &catalog);
+                            // Connection-level I/O failures (torn reads,
+                            // resets, non-UTF-8 lines) are accounted, not
+                            // silently dropped.
+                            if serve_connection(stream, &catalog).is_err() {
+                                reg.counter("service.errors.connection").incr();
+                            }
+                            reg.gauge("service.connections").add(-1);
                         });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -77,7 +94,25 @@ impl Drop for CatalogServer {
     }
 }
 
+/// Static metric names per operation, so spans and counters never
+/// allocate on the hot path.
+fn op_metric_names(cmd: &str) -> (&'static str, &'static str) {
+    match cmd {
+        "PING" => ("service.requests.ping", "service.request.ping"),
+        "QUIT" => ("service.requests.quit", "service.request.quit"),
+        "INGEST" => ("service.requests.ingest", "service.request.ingest"),
+        "ADD" => ("service.requests.add", "service.request.add"),
+        "QUERY" => ("service.requests.query", "service.request.query"),
+        "FETCH" => ("service.requests.fetch", "service.request.fetch"),
+        "SEARCH" => ("service.requests.search", "service.request.search"),
+        "STATS" => ("service.requests.stats", "service.request.stats"),
+        "SLOWLOG" => ("service.requests.slowlog", "service.request.slowlog"),
+        _ => ("service.requests.unknown", "service.request.unknown"),
+    }
+}
+
 fn serve_connection(stream: TcpStream, catalog: &MetadataCatalog) -> std::io::Result<()> {
+    let reg = obs::global();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut line = String::new();
@@ -91,7 +126,14 @@ fn serve_connection(stream: TcpStream, catalog: &MetadataCatalog) -> std::io::Re
             Some((c, r)) => (c, r),
             None => (trimmed, ""),
         };
-        match cmd.to_ascii_uppercase().as_str() {
+        let cmd = cmd.to_ascii_uppercase();
+        let (requests_counter, latency_span) = op_metric_names(&cmd);
+        reg.counter(requests_counter).incr();
+        let mut span = reg.span(latency_span);
+        if matches!(cmd.as_str(), "QUERY" | "SEARCH") && !rest.is_empty() {
+            span.set_detail(rest);
+        }
+        match cmd.as_str() {
             "PING" => writeln!(writer, "OK pong")?,
             "QUIT" => {
                 writeln!(writer, "OK bye")?;
@@ -100,38 +142,42 @@ fn serve_connection(stream: TcpStream, catalog: &MetadataCatalog) -> std::io::Re
             "INGEST" => {
                 let body = match read_body(&mut reader, rest) {
                     Ok(b) => b,
-                    Err(msg) => {
-                        writeln!(writer, "ERR {msg}")?;
+                    Err(e) => {
+                        reg.counter(e.counter()).incr();
+                        writeln!(writer, "ERR {}", e.message())?;
                         continue;
                     }
                 };
                 match catalog.ingest(&body) {
                     Ok(id) => writeln!(writer, "OK {id}")?,
-                    Err(e) => writeln!(writer, "ERR {}", one_line(&e.to_string()))?,
+                    Err(e) => err_reply(&mut writer, &e.to_string())?,
                 }
             }
             "ADD" => {
                 let (id_str, len_str) = match rest.split_once(' ') {
                     Some(p) => p,
                     None => {
+                        reg.counter("service.errors.malformed").incr();
                         writeln!(writer, "ERR ADD needs <object-id> <len>")?;
                         continue;
                     }
                 };
                 let Ok(id) = id_str.parse::<i64>() else {
+                    reg.counter("service.errors.malformed").incr();
                     writeln!(writer, "ERR bad object id")?;
                     continue;
                 };
                 let body = match read_body(&mut reader, len_str) {
                     Ok(b) => b,
-                    Err(msg) => {
-                        writeln!(writer, "ERR {msg}")?;
+                    Err(e) => {
+                        reg.counter(e.counter()).incr();
+                        writeln!(writer, "ERR {}", e.message())?;
                         continue;
                     }
                 };
                 match catalog.add_attribute(id, &body) {
                     Ok(()) => writeln!(writer, "OK")?,
-                    Err(e) => writeln!(writer, "ERR {}", one_line(&e.to_string()))?,
+                    Err(e) => err_reply(&mut writer, &e.to_string())?,
                 }
             }
             "QUERY" => match parse_query(rest).and_then(|q| catalog.query(&q)) {
@@ -139,13 +185,19 @@ fn serve_connection(stream: TcpStream, catalog: &MetadataCatalog) -> std::io::Re
                     let list: Vec<String> = ids.iter().map(|i| i.to_string()).collect();
                     writeln!(writer, "OK {} {}", ids.len(), list.join(" "))?;
                 }
-                Err(e) => writeln!(writer, "ERR {}", one_line(&e.to_string()))?,
+                Err(e) => err_reply(&mut writer, &e.to_string())?,
             },
             "FETCH" => {
-                let ids: std::result::Result<Vec<i64>, _> =
-                    rest.split(',').filter(|s| !s.is_empty()).map(|s| s.trim().parse::<i64>()).collect();
+                let ids: std::result::Result<Vec<i64>, _> = rest
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().parse::<i64>())
+                    .collect();
                 match ids {
-                    Err(_) => writeln!(writer, "ERR bad id list")?,
+                    Err(_) => {
+                        reg.counter("service.errors.malformed").incr();
+                        writeln!(writer, "ERR bad id list")?;
+                    }
                     Ok(ids) => match catalog.fetch_documents(&ids) {
                         Ok(docs) => {
                             let mut out = String::new();
@@ -156,24 +208,25 @@ fn serve_connection(stream: TcpStream, catalog: &MetadataCatalog) -> std::io::Re
                                 out.push_str("</object>");
                             }
                             out.push_str("</results>");
+                            reg.counter("service.body_bytes_out").add(out.len() as u64);
                             writeln!(writer, "OK {}", out.len())?;
                             writer.write_all(out.as_bytes())?;
                         }
-                        Err(e) => writeln!(writer, "ERR {}", one_line(&e.to_string()))?,
+                        Err(e) => err_reply(&mut writer, &e.to_string())?,
                     },
                 }
             }
             "SEARCH" => match parse_query(rest).and_then(|q| catalog.search_envelope(&q)) {
                 Ok(env) => {
+                    reg.counter("service.body_bytes_out").add(env.len() as u64);
                     writeln!(writer, "OK {}", env.len())?;
                     writer.write_all(env.as_bytes())?;
                 }
-                Err(e) => writeln!(writer, "ERR {}", one_line(&e.to_string()))?,
+                Err(e) => err_reply(&mut writer, &e.to_string())?,
             },
             "STATS" => {
                 let s = catalog.stats();
-                writeln!(
-                    writer,
+                let mut out = format!(
                     "OK objects={} attrs={} elems={} clobs={} clob_bytes={} defs={}",
                     s.objects,
                     s.attr_rows,
@@ -181,23 +234,100 @@ fn serve_connection(stream: TcpStream, catalog: &MetadataCatalog) -> std::io::Re
                     s.clob_count,
                     s.clob_bytes,
                     s.attr_defs + s.elem_defs
-                )?;
+                );
+                // Full observability snapshot rides on the same line so
+                // existing `k=v` parsers pick it up unchanged.
+                for (name, value) in reg.snapshot_kv() {
+                    out.push_str(&format!(" {name}={value}"));
+                }
+                writeln!(writer, "{out}")?;
             }
-            other => writeln!(writer, "ERR unknown command {other}")?,
+            "SLOWLOG" => {
+                if rest.is_empty() {
+                    let mut out = String::new();
+                    for ev in reg.slow_events() {
+                        out.push_str(&format!(
+                            "seq={} name={} time_us={} detail={}\n",
+                            ev.seq,
+                            ev.name,
+                            ev.nanos / 1_000,
+                            one_line(ev.detail.as_deref().unwrap_or("-")),
+                        ));
+                    }
+                    writeln!(writer, "OK {}", out.len())?;
+                    writer.write_all(out.as_bytes())?;
+                } else {
+                    match rest.trim().parse::<u64>() {
+                        Ok(ms) => {
+                            reg.set_slow_threshold(std::time::Duration::from_millis(ms));
+                            writeln!(writer, "OK threshold_ms={ms}")?;
+                        }
+                        Err(_) => {
+                            reg.counter("service.errors.malformed").incr();
+                            writeln!(writer, "ERR bad threshold {rest:?}")?;
+                        }
+                    }
+                }
+            }
+            other => {
+                reg.counter("service.errors.unknown").incr();
+                writeln!(writer, "ERR unknown command {other}")?;
+            }
         }
         writer.flush()?;
     }
 }
 
+/// Reply `ERR <one-line message>` for a failed catalog operation and
+/// count it.
+fn err_reply(writer: &mut TcpStream, msg: &str) -> std::io::Result<()> {
+    obs::global().counter("service.errors.catalog").incr();
+    writeln!(writer, "ERR {}", one_line(msg))
+}
+
+/// Why a length-prefixed body could not be read.
+enum BodyError {
+    /// Bad length, torn body, or non-UTF-8 bytes.
+    Malformed(String),
+    /// Length prefix above [`MAX_BODY`].
+    Oversized(String),
+}
+
+impl BodyError {
+    fn counter(&self) -> &'static str {
+        match self {
+            BodyError::Malformed(_) => "service.errors.malformed",
+            BodyError::Oversized(_) => "service.errors.oversized",
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            BodyError::Malformed(m) | BodyError::Oversized(m) => m,
+        }
+    }
+}
+
 /// Read a length-prefixed body where `len_str` is the decimal length.
-fn read_body(reader: &mut BufReader<TcpStream>, len_str: &str) -> std::result::Result<String, String> {
-    let len: usize = len_str.trim().parse().map_err(|_| format!("bad length {len_str:?}"))?;
+fn read_body(
+    reader: &mut BufReader<TcpStream>,
+    len_str: &str,
+) -> std::result::Result<String, BodyError> {
+    let len: usize = len_str
+        .trim()
+        .parse()
+        .map_err(|_| BodyError::Malformed(format!("bad length {len_str:?}")))?;
     if len > MAX_BODY {
-        return Err(format!("body of {len} bytes exceeds the {MAX_BODY}-byte limit"));
+        return Err(BodyError::Oversized(format!(
+            "body of {len} bytes exceeds the {MAX_BODY}-byte limit"
+        )));
     }
     let mut buf = vec![0u8; len];
-    reader.read_exact(&mut buf).map_err(|e| format!("short body: {e}"))?;
-    String::from_utf8(buf).map_err(|_| "body is not UTF-8".to_string())
+    reader
+        .read_exact(&mut buf)
+        .map_err(|e| BodyError::Malformed(format!("short body: {e}")))?;
+    obs::global().counter("service.body_bytes_in").add(len as u64);
+    String::from_utf8(buf).map_err(|_| BodyError::Malformed("body is not UTF-8".to_string()))
 }
 
 fn one_line(s: &str) -> String {

@@ -43,7 +43,8 @@ fn search_and_stats() {
 fn add_attribute_over_the_wire() {
     let (_server, mut c) = start();
     let id = c.ingest(FIG3_DOCUMENT).unwrap();
-    c.add_attribute(id, "<theme><themekt>CF</themekt><themekey>wired</themekey></theme>").unwrap();
+    c.add_attribute(id, "<theme><themekt>CF</themekt><themekey>wired</themekey></theme>")
+        .unwrap();
     assert_eq!(c.query("theme[themekey='wired']").unwrap(), vec![id]);
 }
 

@@ -57,13 +57,31 @@ impl Default for WorkloadConfig {
 
 /// Names reminiscent of the ARPS/WRF namelist groups the paper cites.
 const GROUP_NAMES: &[&str] = &[
-    "grid", "physics", "dynamics", "radiation", "surface", "microphysics", "boundary", "nudging",
-    "assimilation", "soil", "turbulence", "convection",
+    "grid",
+    "physics",
+    "dynamics",
+    "radiation",
+    "surface",
+    "microphysics",
+    "boundary",
+    "nudging",
+    "assimilation",
+    "soil",
+    "turbulence",
+    "convection",
 ];
 const MODEL_NAMES: &[&str] = &["ARPS", "WRF", "COAMPS", "RAMS"];
 const CF_TERMS: &[&str] = &[
-    "air_pressure", "air_temperature", "convective_precipitation", "relative_humidity", "wind_speed",
-    "cloud_base", "cloud_top", "surface_flux", "soil_moisture", "radar_reflectivity",
+    "air_pressure",
+    "air_temperature",
+    "convective_precipitation",
+    "relative_humidity",
+    "wind_speed",
+    "cloud_base",
+    "cloud_top",
+    "surface_flux",
+    "soil_moisture",
+    "radar_reflectivity",
 ];
 
 /// Deterministic corpus generator.

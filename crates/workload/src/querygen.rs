@@ -47,7 +47,8 @@ impl<'a> QueryGenerator<'a> {
                 let term = ["air_pressure", "wind_speed", "cloud_base"][self.rng.gen_range(0..3)];
                 let idx = self.rng.gen_range(0..self.gen.config().vocab_size);
                 ObjectQuery::new().attr(
-                    AttrQuery::new("theme").elem(ElemCond::eq_str("themekey", format!("{term}_{idx}"))),
+                    AttrQuery::new("theme")
+                        .elem(ElemCond::eq_str("themekey", format!("{term}_{idx}"))),
                 )
             }
             QueryShape::DynamicEq => {
@@ -75,7 +76,13 @@ impl<'a> QueryGenerator<'a> {
                 let spec = &self.gen.specs()[self.rng.gen_range(0..self.gen.specs().len())];
                 // Chain sub0 → sub1 → ... → sub{depth-1}, condition on
                 // the innermost level's parameter.
-                fn chain(source: &str, level: usize, depth: usize, card: u64, rng: &mut StdRng) -> AttrQuery {
+                fn chain(
+                    source: &str,
+                    level: usize,
+                    depth: usize,
+                    card: u64,
+                    rng: &mut StdRng,
+                ) -> AttrQuery {
                     let mut q = AttrQuery::new(format!("sub{level}")).source(source.to_string());
                     if level + 1 < depth {
                         q = q.sub(chain(source, level + 1, depth, card, rng));
@@ -86,9 +93,13 @@ impl<'a> QueryGenerator<'a> {
                     q
                 }
                 let depth = depth.max(1);
-                let top = AttrQuery::new(spec.name.clone())
-                    .source(spec.source.clone())
-                    .sub(chain(&spec.source, 0, depth, card, &mut self.rng));
+                let top = AttrQuery::new(spec.name.clone()).source(spec.source.clone()).sub(chain(
+                    &spec.source,
+                    0,
+                    depth,
+                    card,
+                    &mut self.rng,
+                ));
                 ObjectQuery::new().attr(top)
             }
             QueryShape::Conjunctive(k) => {

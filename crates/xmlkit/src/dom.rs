@@ -171,7 +171,11 @@ impl Document {
         }
         if let Some(open) = stack.last() {
             let name = nodes[open.index()].name().unwrap_or("").to_string();
-            return Err(XmlError::at(ErrorKind::UnexpectedEof, tok.offset(), format!("<{name}> never closed")));
+            return Err(XmlError::at(
+                ErrorKind::UnexpectedEof,
+                tok.offset(),
+                format!("<{name}> never closed"),
+            ));
         }
         let root = root.ok_or_else(|| XmlError::new(ErrorKind::BadStructure, "no root element"))?;
         Ok(Document { nodes, root })
@@ -262,7 +266,11 @@ impl Document {
     }
 
     /// All child elements with tag `name`.
-    pub fn children_named<'a>(&'a self, id: NodeId, name: &'a str) -> impl Iterator<Item = NodeId> + 'a {
+    pub fn children_named<'a>(
+        &'a self,
+        id: NodeId,
+        name: &'a str,
+    ) -> impl Iterator<Item = NodeId> + 'a {
         self.child_elements(id).filter(move |c| self.node(*c).name() == Some(name))
     }
 
@@ -336,7 +344,11 @@ fn push_text(nodes: &mut Vec<Node>, parent: NodeId, text: &str) {
         }
     }
     let id = NodeId(nodes.len() as u32);
-    nodes.push(Node { kind: NodeKind::Text(text.to_string()), parent: Some(parent), children: Vec::new() });
+    nodes.push(Node {
+        kind: NodeKind::Text(text.to_string()),
+        parent: Some(parent),
+        children: Vec::new(),
+    });
     nodes[parent.index()].children.push(id);
 }
 
@@ -396,7 +408,8 @@ mod tests {
     #[test]
     fn descendants_preorder() {
         let d = Document::parse(DOC).unwrap();
-        let names: Vec<_> = d.descendants(d.root()).map(|n| d.node(n).name().unwrap().to_string()).collect();
+        let names: Vec<_> =
+            d.descendants(d.root()).map(|n| d.node(n).name().unwrap().to_string()).collect();
         assert_eq!(names, vec!["a", "b", "c", "b"]);
     }
 
@@ -404,7 +417,7 @@ mod tests {
     fn children_named_filters() {
         let d = Document::parse("<r><x/><y/><x/></r>").unwrap();
         assert_eq!(d.children_named(d.root(), "x").count(), 2);
-        assert_eq!(d.child_named(d.root(), "y").is_some(), true);
+        assert!(d.child_named(d.root(), "y").is_some());
         assert!(d.child_named(d.root(), "z").is_none());
     }
 

@@ -30,4 +30,6 @@ pub mod xpath;
 
 pub use dom::{Document, Node, NodeId, NodeKind};
 pub use error::{ErrorKind, Result, XmlError};
-pub use schema::{Cardinality, ChildRef, Schema, SchemaBuilder, SchemaNode, SchemaNodeId, ValueType};
+pub use schema::{
+    Cardinality, ChildRef, Schema, SchemaBuilder, SchemaNode, SchemaNodeId, ValueType,
+};

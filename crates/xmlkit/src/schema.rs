@@ -187,7 +187,11 @@ impl Schema {
     /// Find the direct child declaration of `parent` named `name`,
     /// following recursion edges (so `attr` under `attr` resolves).
     pub fn child_named(&self, parent: SchemaNodeId, name: &str) -> Option<SchemaNodeId> {
-        self.node(parent).children.iter().map(|c| c.id()).find(|id| self.node(*id).name == name)
+        self.node(parent)
+            .children
+            .iter()
+            .map(|c| c.id())
+            .find(|id| self.node(*id).name == name)
     }
 
     /// Resolve an absolute `/`-separated path of tag names to a node.
@@ -270,7 +274,12 @@ impl SchemaBuilder {
     }
 
     /// Add an interior or leaf child; returns its id.
-    pub fn child(&mut self, parent: SchemaNodeId, name: impl Into<String>, card: Cardinality) -> SchemaNodeId {
+    pub fn child(
+        &mut self,
+        parent: SchemaNodeId,
+        name: impl Into<String>,
+        card: Cardinality,
+    ) -> SchemaNodeId {
         let id = SchemaNodeId(self.nodes.len() as u32);
         self.nodes.push(SchemaNode {
             name: name.into(),
@@ -285,7 +294,12 @@ impl SchemaBuilder {
     }
 
     /// Add a leaf child (same as [`Self::child`]; reads better at call sites).
-    pub fn leaf(&mut self, parent: SchemaNodeId, name: impl Into<String>, card: Cardinality) -> SchemaNodeId {
+    pub fn leaf(
+        &mut self,
+        parent: SchemaNodeId,
+        name: impl Into<String>,
+        card: Cardinality,
+    ) -> SchemaNodeId {
         self.child(parent, name, card)
     }
 
@@ -349,7 +363,11 @@ impl<'a> DslParser<'a> {
         self.skip_ws();
         let (name, card, vt, xattrs) = self.ident()?;
         if card != Cardinality::One {
-            return Err(XmlError::at(ErrorKind::BadSchema, self.pos, "root cannot carry a cardinality suffix"));
+            return Err(XmlError::at(
+                ErrorKind::BadSchema,
+                self.pos,
+                "root cannot carry a cardinality suffix",
+            ));
         }
         let mut b = SchemaBuilder::new(name);
         if xattrs {
@@ -363,7 +381,11 @@ impl<'a> DslParser<'a> {
         }
         self.skip_ws();
         if self.pos != self.src.len() {
-            return Err(XmlError::at(ErrorKind::BadSchema, self.pos, "trailing input after schema"));
+            return Err(XmlError::at(
+                ErrorKind::BadSchema,
+                self.pos,
+                "trailing input after schema",
+            ));
         }
         Ok(b.build())
     }
@@ -392,7 +414,11 @@ impl<'a> DslParser<'a> {
                         cur = b.nodes[c.index()].parent;
                     }
                     let target = found.ok_or_else(|| {
-                        XmlError::at(ErrorKind::BadSchema, self.pos, format!("^{target_name}: no such ancestor"))
+                        XmlError::at(
+                            ErrorKind::BadSchema,
+                            self.pos,
+                            format!("^{target_name}: no such ancestor"),
+                        )
                     })?;
                     b.recurse(parent, target)?;
                 }
@@ -409,7 +435,11 @@ impl<'a> DslParser<'a> {
                     }
                 }
                 None => {
-                    return Err(XmlError::at(ErrorKind::UnexpectedEof, self.pos, "unterminated '{'"));
+                    return Err(XmlError::at(
+                        ErrorKind::UnexpectedEof,
+                        self.pos,
+                        "unterminated '{'",
+                    ));
                 }
             }
         }
@@ -452,7 +482,11 @@ impl<'a> DslParser<'a> {
                 "float" => ValueType::Float,
                 "bool" => ValueType::Bool,
                 other => {
-                    return Err(XmlError::at(ErrorKind::BadSchema, tstart, format!("unknown type {other}")));
+                    return Err(XmlError::at(
+                        ErrorKind::BadSchema,
+                        tstart,
+                        format!("unknown type {other}"),
+                    ));
                 }
             };
         }

@@ -167,7 +167,9 @@ impl<'a> Tokenizer<'a> {
                     None => (body, ""),
                 };
                 if target.is_empty() {
-                    return Err(self.err(ErrorKind::Malformed, "processing instruction with empty target"));
+                    return Err(
+                        self.err(ErrorKind::Malformed, "processing instruction with empty target")
+                    );
                 }
                 Ok(Token::ProcessingInstruction { target, data })
             }
@@ -188,11 +190,16 @@ impl<'a> Tokenizer<'a> {
             idx += 1;
         }
         if !self.src[idx..].starts_with('>') {
-            return Err(XmlError::at(ErrorKind::Malformed, idx, format!("junk in end tag </{name}")));
+            return Err(XmlError::at(
+                ErrorKind::Malformed,
+                idx,
+                format!("junk in end tag </{name}"),
+            ));
         }
         self.pos = idx + 1;
         if self.depth == 0 {
-            return Err(self.err(ErrorKind::MismatchedTag, format!("end tag </{name}> with no open element")));
+            return Err(self
+                .err(ErrorKind::MismatchedTag, format!("end tag </{name}> with no open element")));
         }
         self.depth -= 1;
         Ok(Token::EndTag { name })
@@ -223,12 +230,20 @@ impl<'a> Tokenizer<'a> {
                 return Ok(Token::StartTag { name, attrs, self_closing: false });
             }
             if tail.is_empty() {
-                return Err(XmlError::at(ErrorKind::UnexpectedEof, idx, format!("unterminated start tag <{name}")));
+                return Err(XmlError::at(
+                    ErrorKind::UnexpectedEof,
+                    idx,
+                    format!("unterminated start tag <{name}"),
+                ));
             }
             // attribute
             let alen = name_length(tail);
             if alen == 0 {
-                return Err(XmlError::at(ErrorKind::Malformed, idx, format!("bad attribute in <{name}>")));
+                return Err(XmlError::at(
+                    ErrorKind::Malformed,
+                    idx,
+                    format!("bad attribute in <{name}>"),
+                ));
             }
             let aname = &tail[..alen];
             idx += alen;
@@ -236,7 +251,11 @@ impl<'a> Tokenizer<'a> {
                 idx += 1;
             }
             if !self.src[idx..].starts_with('=') {
-                return Err(XmlError::at(ErrorKind::Malformed, idx, format!("attribute {aname} missing '='")));
+                return Err(XmlError::at(
+                    ErrorKind::Malformed,
+                    idx,
+                    format!("attribute {aname} missing '='"),
+                ));
             }
             idx += 1;
             while self.src[idx..].starts_with(|c: char| c.is_ascii_whitespace()) {
@@ -245,7 +264,11 @@ impl<'a> Tokenizer<'a> {
             let quote = match self.src[idx..].chars().next() {
                 Some(q @ ('"' | '\'')) => q,
                 _ => {
-                    return Err(XmlError::at(ErrorKind::Malformed, idx, format!("attribute {aname} value must be quoted")));
+                    return Err(XmlError::at(
+                        ErrorKind::Malformed,
+                        idx,
+                        format!("attribute {aname} value must be quoted"),
+                    ));
                 }
             };
             idx += 1;
@@ -253,7 +276,11 @@ impl<'a> Tokenizer<'a> {
             let vend = match self.src[vstart..].find(quote) {
                 Some(e) => vstart + e,
                 None => {
-                    return Err(XmlError::at(ErrorKind::UnexpectedEof, idx, format!("unterminated value for attribute {aname}")));
+                    return Err(XmlError::at(
+                        ErrorKind::UnexpectedEof,
+                        idx,
+                        format!("unterminated value for attribute {aname}"),
+                    ));
                 }
             };
             let raw = &self.src[vstart..vend];
@@ -321,18 +348,34 @@ pub fn unescape(raw: &str, base_offset: usize) -> Result<Cow<'_, str>> {
             "apos" => out.push('\''),
             _ if ent.starts_with("#x") || ent.starts_with("#X") => {
                 let code = u32::from_str_radix(&ent[2..], 16).map_err(|_| {
-                    XmlError::at(ErrorKind::UnknownEntity, off, format!("bad character reference &{ent};"))
+                    XmlError::at(
+                        ErrorKind::UnknownEntity,
+                        off,
+                        format!("bad character reference &{ent};"),
+                    )
                 })?;
                 out.push(char::from_u32(code).ok_or_else(|| {
-                    XmlError::at(ErrorKind::UnknownEntity, off, format!("invalid code point &{ent};"))
+                    XmlError::at(
+                        ErrorKind::UnknownEntity,
+                        off,
+                        format!("invalid code point &{ent};"),
+                    )
                 })?);
             }
             _ if ent.starts_with('#') => {
                 let code: u32 = ent[1..].parse().map_err(|_| {
-                    XmlError::at(ErrorKind::UnknownEntity, off, format!("bad character reference &{ent};"))
+                    XmlError::at(
+                        ErrorKind::UnknownEntity,
+                        off,
+                        format!("bad character reference &{ent};"),
+                    )
                 })?;
                 out.push(char::from_u32(code).ok_or_else(|| {
-                    XmlError::at(ErrorKind::UnknownEntity, off, format!("invalid code point &{ent};"))
+                    XmlError::at(
+                        ErrorKind::UnknownEntity,
+                        off,
+                        format!("invalid code point &{ent};"),
+                    )
                 })?);
             }
             _ => {

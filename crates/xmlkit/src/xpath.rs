@@ -301,9 +301,9 @@ impl<'a> Parser<'a> {
             Some(q @ ('\'' | '"')) => {
                 self.pos += 1;
                 let start = self.pos;
-                let end = self.src[start..]
-                    .find(q)
-                    .ok_or_else(|| XmlError::at(ErrorKind::BadPath, start, "unterminated string literal"))?;
+                let end = self.src[start..].find(q).ok_or_else(|| {
+                    XmlError::at(ErrorKind::BadPath, start, "unterminated string literal")
+                })?;
                 let lit = self.src[start..start + end].to_string();
                 self.pos = start + end + 1;
                 Ok(lit)
@@ -312,7 +312,13 @@ impl<'a> Parser<'a> {
                 let start = self.pos;
                 self.pos += 1;
                 while let Some(c2) = self.peek_str().chars().next() {
-                    if c2.is_ascii_digit() || c2 == '.' || c2 == 'e' || c2 == 'E' || c2 == '-' || c2 == '+' {
+                    if c2.is_ascii_digit()
+                        || c2 == '.'
+                        || c2 == 'e'
+                        || c2 == 'E'
+                        || c2 == '-'
+                        || c2 == '+'
+                    {
                         self.pos += 1;
                     } else {
                         break;

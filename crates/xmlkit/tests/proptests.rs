@@ -23,7 +23,8 @@ enum Tree {
 }
 
 fn tree() -> impl Strategy<Value = Tree> {
-    let leaf = (tag_name(), proptest::option::of(text_content())).prop_map(|(n, t)| Tree::Leaf(n, t));
+    let leaf =
+        (tag_name(), proptest::option::of(text_content())).prop_map(|(n, t)| Tree::Leaf(n, t));
     leaf.prop_recursive(4, 64, 5, |inner| {
         (
             tag_name(),

@@ -23,8 +23,8 @@ fn card() -> impl Strategy<Value = Cardinality> {
 fn stree() -> impl Strategy<Value = STree> {
     let leaf = ("[a-z][a-z0-9]{0,6}", card()).prop_map(|(n, c)| STree::Leaf(n, c));
     leaf.prop_recursive(3, 32, 4, |inner| {
-        ("[a-z][a-z0-9]{0,6}", card(), proptest::collection::vec(inner, 1..4))
-            .prop_map(|(n, c, kids)| {
+        ("[a-z][a-z0-9]{0,6}", card(), proptest::collection::vec(inner, 1..4)).prop_map(
+            |(n, c, kids)| {
                 // Sibling names must be unique for child_named to be
                 // deterministic.
                 let mut kids = kids;
@@ -41,7 +41,8 @@ fn stree() -> impl Strategy<Value = STree> {
                     an == bn
                 });
                 STree::Node(n, c, kids)
-            })
+            },
+        )
     })
 }
 

@@ -45,7 +45,11 @@ fn main() -> Result<()> {
             for r in 0..5 {
                 let member = m * 15 + k * 5 + r;
                 let progress = if member % 7 == 0 { "running" } else { "complete" };
-                cat.ingest_as(&run_doc(member, *dx, *dzmin, progress), "keisha", &format!("ens-{member:03}"))?;
+                cat.ingest_as(
+                    &run_doc(member, *dx, *dzmin, progress),
+                    "keisha",
+                    &format!("ens-{member:03}"),
+                )?;
                 n += 1;
             }
         }
@@ -54,28 +58,32 @@ fn main() -> Result<()> {
 
     // Q1: the paper's canonical question.
     let q1 = ObjectQuery::new().attr(
-        AttrQuery::new("grid")
-            .source("ARPS")
-            .elem(ElemCond::eq_num("dx", 1000.0))
-            .sub(AttrQuery::new("grid-stretching").source("ARPS").elem(ElemCond::eq_num("dzmin", 100.0))),
+        AttrQuery::new("grid").source("ARPS").elem(ElemCond::eq_num("dx", 1000.0)).sub(
+            AttrQuery::new("grid-stretching")
+                .source("ARPS")
+                .elem(ElemCond::eq_num("dzmin", 100.0)),
+        ),
     );
     println!("dx=1000m & dzmin=100m       → {} runs", cat.query(&q1)?.len());
 
     // Q2: coarse grids, any stretching.
-    let q2 = ObjectQuery::new()
-        .attr(AttrQuery::new("grid").source("ARPS").elem(ElemCond::num("dx", QOp::Ge, 1000.0)));
+    let q2 = ObjectQuery::new().attr(AttrQuery::new("grid").source("ARPS").elem(ElemCond::num(
+        "dx",
+        QOp::Ge,
+        1000.0,
+    )));
     println!("dx >= 1000m                 → {} runs", cat.query(&q2)?.len());
 
     // Q3: fine vertical resolution on runs that are still going.
     let q3 = ObjectQuery::new()
         .attr(AttrQuery::new("status").elem(ElemCond::eq_str("progress", "running")))
-        .attr(
-            AttrQuery::new("grid").source("ARPS").sub(
-                AttrQuery::new("grid-stretching")
-                    .source("ARPS")
-                    .elem(ElemCond::num("dzmin", QOp::Le, 20.0)),
-            ),
-        );
+        .attr(AttrQuery::new("grid").source("ARPS").sub(
+            AttrQuery::new("grid-stretching").source("ARPS").elem(ElemCond::num(
+                "dzmin",
+                QOp::Le,
+                20.0,
+            )),
+        ));
     let running = cat.query(&q3)?;
     println!("running & dzmin <= 20m      → {} runs: {running:?}", running.len());
 
@@ -101,7 +109,11 @@ fn main() -> Result<()> {
         "ens-soil",
     )?;
     let q4 = ObjectQuery::new().attr(
-        AttrQuery::new("soil-physics").source("ARPS-5.3").elem(ElemCond::num("nzsoil", QOp::Ge, 10.0)),
+        AttrQuery::new("soil-physics").source("ARPS-5.3").elem(ElemCond::num(
+            "nzsoil",
+            QOp::Ge,
+            10.0,
+        )),
     );
     println!("\nnew soil-physics attribute (user-level, no schema change):");
     println!("nzsoil >= 10                → {:?} (expected [{id}])", cat.query(&q4)?);

@@ -24,32 +24,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One scientist ingests a forecast batch...
     let addr = server.addr();
     let gen_w = generator.clone();
-    let writer = std::thread::spawn(move || -> Result<Vec<i64>, Box<service::client::ClientError>> {
-        let mut c = CatalogClient::connect(addr).map_err(Box::new)?;
-        let mut ids = Vec::new();
-        for i in 0..40 {
-            ids.push(c.ingest(&gen_w.generate(i)).map_err(Box::new)?);
-        }
-        c.quit().map_err(Box::new)?;
-        Ok(ids)
-    });
+    let writer =
+        std::thread::spawn(move || -> Result<Vec<i64>, Box<service::client::ClientError>> {
+            let mut c = CatalogClient::connect(addr).map_err(Box::new)?;
+            let mut ids = Vec::new();
+            for i in 0..40 {
+                ids.push(c.ingest(&gen_w.generate(i)).map_err(Box::new)?);
+            }
+            c.quit().map_err(Box::new)?;
+            Ok(ids)
+        });
 
     // ...while two colleagues poll with attribute queries.
     let mut pollers = Vec::new();
     for who in ["amira", "ben"] {
         let addr = server.addr();
-        pollers.push(std::thread::spawn(move || -> Result<usize, Box<service::client::ClientError>> {
-            let mut c = CatalogClient::connect(addr).map_err(Box::new)?;
-            let mut best = 0;
-            for _ in 0..10 {
-                let hits = c.query("grid@ARPS[p0=0..100]").map_err(Box::new)?;
-                best = best.max(hits.len());
-                std::thread::sleep(std::time::Duration::from_millis(5));
-            }
-            println!("{who} saw up to {best} matching runs while ingest was underway");
-            c.quit().map_err(Box::new)?;
-            Ok(best)
-        }));
+        pollers.push(std::thread::spawn(
+            move || -> Result<usize, Box<service::client::ClientError>> {
+                let mut c = CatalogClient::connect(addr).map_err(Box::new)?;
+                let mut best = 0;
+                for _ in 0..10 {
+                    let hits = c.query("grid@ARPS[p0=0..100]").map_err(Box::new)?;
+                    best = best.max(hits.len());
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                println!("{who} saw up to {best} matching runs while ingest was underway");
+                c.quit().map_err(Box::new)?;
+                Ok(best)
+            },
+        ));
     }
 
     let ids = writer.join().expect("writer thread")?;

@@ -77,10 +77,7 @@ fn main() -> Result<()> {
 
     let ing = ingested.load(Ordering::Relaxed);
     let qry = queried.load(Ordering::Relaxed);
-    println!(
-        "\n{writers} writers ingested {ing} docs  ({:.0} docs/s)",
-        ing as f64 / secs
-    );
+    println!("\n{writers} writers ingested {ing} docs  ({:.0} docs/s)", ing as f64 / secs);
     println!(
         "{readers} readers ran      {qry} queries ({:.0} queries/s, {} total hits)",
         qry as f64 / secs,
@@ -96,7 +93,8 @@ fn main() -> Result<()> {
     );
 
     // Responses still reconstruct correctly under load.
-    let sample = cat.query(&QueryGenerator::new(&generator, 999).generate(QueryShape::DynamicRange(50)))?;
+    let sample =
+        cat.query(&QueryGenerator::new(&generator, 999).generate(QueryShape::DynamicRange(50)))?;
     if let Some(&first) = sample.first() {
         let doc = cat.fetch_documents(&[first])?.remove(0).1;
         assert!(mylead::xmlkit::Document::parse(&doc).is_ok());

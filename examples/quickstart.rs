@@ -42,9 +42,8 @@ fn main() -> Result<()> {
     println!("query matched objects: {hits:?}");
 
     // A query that must not match (dx differs).
-    let miss = ObjectQuery::new().attr(
-        AttrQuery::new("grid").source("ARPS").elem(ElemCond::eq_num("dx", 2000.0)),
-    );
+    let miss = ObjectQuery::new()
+        .attr(AttrQuery::new("grid").source("ARPS").elem(ElemCond::eq_num("dx", 2000.0)));
     println!("dx=2000 matched objects: {:?}", cat.query(&miss)?);
 
     // 4. Response: the stored CLOBs are merged with wrapper tags

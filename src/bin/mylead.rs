@@ -8,12 +8,19 @@
 //! mylead ingest    -s cat.db doc1.xml doc2.xml ...
 //! mylead add       -s cat.db <object-id> fragment.xml
 //! mylead query     -s cat.db "grid@ARPS[dx=1000]{grid-stretching@ARPS[dzmin=100]}"
+//! mylead analyze   -s cat.db "grid@ARPS[dx=1000]{grid-stretching@ARPS[dzmin=100]}"
 //! mylead search    -s cat.db "theme[themekey~'%rain%']"
 //! mylead fetch     -s cat.db 1 2 3
-//! mylead stats     -s cat.db
+//! mylead stats     -s cat.db [server-addr]
 //! mylead sql       -s cat.db "SELECT COUNT(*) FROM clobs"
 //! mylead serve     -s cat.db 127.0.0.1:7070
 //! ```
+//!
+//! `analyze` runs the query with per-operator profiling and prints the
+//! annotated plan (`EXPLAIN ANALYZE`). `stats` with a server address
+//! reads a live server's `STATS` line, which carries the full
+//! observability registry snapshot; without one it prints local table
+//! stats plus whatever the registry recorded in this process.
 //!
 //! `init` builds a catalog over the Fig-2 LEAD schema with the ARPS
 //! definitions registered and auto-registration of new dynamic
@@ -78,14 +85,12 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: mylead <init|ingest|add|query|search|fetch|stats|sql|serve> -s <snapshot> [args...]"
+    "usage: mylead <init|ingest|add|query|analyze|search|fetch|stats|sql|serve> -s <snapshot> [args...]"
         .to_string()
 }
 
 fn config(strict: bool) -> CatalogConfig {
-    let mut c = CatalogConfig::default();
-    c.auto_register = !strict;
-    c
+    CatalogConfig { auto_register: !strict, ..CatalogConfig::default() }
 }
 
 fn load(args: &Args) -> Result<MetadataCatalog, String> {
@@ -150,6 +155,14 @@ fn run() -> Result<(), String> {
             say!("{} object(s): {:?}", ids.len(), ids);
             Ok(())
         }
+        "analyze" => {
+            let dsl = args.rest.join(" ");
+            let q = parse_query(&dsl).map_err(|e| e.to_string())?;
+            let cat = load(&args)?;
+            let text = cat.explain_analyze(&q).map_err(|e| e.to_string())?;
+            say!("{}", text.trim_end());
+            Ok(())
+        }
         "search" => {
             let dsl = args.rest.join(" ");
             let q = parse_query(&dsl).map_err(|e| e.to_string())?;
@@ -157,7 +170,10 @@ fn run() -> Result<(), String> {
             for (id, doc) in cat.search(&q).map_err(|e| e.to_string())? {
                 say!("--- object {id} ---");
                 match mylead::xmlkit::Document::parse(&doc) {
-                    Ok(d) => say!("{}", mylead::xmlkit::writer::to_pretty_string(&d, d.root()).trim_end()),
+                    Ok(d) => say!(
+                        "{}",
+                        mylead::xmlkit::writer::to_pretty_string(&d, d.root()).trim_end()
+                    ),
                     Err(_) => say!("{doc}"),
                 }
             }
@@ -174,6 +190,16 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "stats" => {
+            // With a server address, read the live server's STATS line
+            // (it carries the full observability registry snapshot).
+            if let Some(addr) = args.rest.first() {
+                let mut c = service::CatalogClient::connect(addr.as_str())
+                    .map_err(|e| format!("cannot reach server at {addr}: {e}"))?;
+                for (k, v) in c.stats().map_err(|e| e.to_string())? {
+                    say!("{k}={v}");
+                }
+                return c.quit().map(|_| ()).map_err(|e| e.to_string());
+            }
             let cat = load(&args)?;
             let s = cat.stats();
             say!("objects        {}", s.objects);
@@ -182,6 +208,11 @@ fn run() -> Result<(), String> {
             say!("inverted rows  {}", s.ancestor_rows);
             say!("CLOBs          {} ({} bytes)", s.clob_count, s.clob_bytes);
             say!("definitions    {} attrs, {} elems", s.attr_defs, s.elem_defs);
+            let registry = obs::global().render_text();
+            if !registry.trim().is_empty() {
+                say!("-- observability registry --");
+                say!("{}", registry.trim_end());
+            }
             Ok(())
         }
         "sql" => {
@@ -197,8 +228,11 @@ fn run() -> Result<(), String> {
             let cat = std::sync::Arc::new(load(&args)?);
             let server =
                 service::CatalogServer::start(cat.clone(), &addr).map_err(|e| e.to_string())?;
-            say!("serving catalog {} on {} (Ctrl-C to stop; snapshot is saved every 30 s)",
-                args.snapshot, server.addr());
+            say!(
+                "serving catalog {} on {} (Ctrl-C to stop; snapshot is saved every 30 s)",
+                args.snapshot,
+                server.addr()
+            );
             loop {
                 std::thread::sleep(std::time::Duration::from_secs(30));
                 if let Err(e) = cat.save(&args.snapshot) {

@@ -15,11 +15,8 @@ fn tmpdir(tag: &str) -> PathBuf {
 
 fn run(args: &[&str]) -> (bool, String) {
     let out = Command::new(bin()).args(args).output().expect("spawn mylead");
-    let text = format!(
-        "{}{}",
-        String::from_utf8_lossy(&out.stdout),
-        String::from_utf8_lossy(&out.stderr)
-    );
+    let text =
+        format!("{}{}", String::from_utf8_lossy(&out.stdout), String::from_utf8_lossy(&out.stderr));
     (out.status.success(), text)
 }
 
@@ -97,7 +94,7 @@ fn errors_exit_nonzero() {
     let (ok, out) = run(&["query", "-s", snap_s, "theme[themekey='x']"]);
     assert!(!ok, "{out}");
     // Bad command.
-    assert!(run(&["nonsense", "-s", snap_s]).0 == false);
+    assert!(!run(&["nonsense", "-s", snap_s]).0);
     // init twice fails.
     assert!(run(&["init", "-s", snap_s]).0);
     let (ok, out) = run(&["init", "-s", snap_s]);

@@ -1,0 +1,88 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the API subset it uses: `crossbeam::thread::scope` with
+//! spawn/join, delegated to `std::thread::scope` (stable since Rust
+//! 1.63, which makes crossbeam's scoped threads redundant here).
+//!
+//! One deliberate divergence: the closure passed to
+//! [`thread::Scope::spawn`] receives `()` instead of a nested `&Scope`
+//! — the workspace's call sites all ignore the argument (`|_| ...`),
+//! and forwarding a reference to the wrapper scope into spawned
+//! threads cannot be expressed soundly over `std::thread::scope`.
+
+#![warn(missing_docs)]
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of joining a scoped thread (Err carries the panic
+    /// payload, as in crossbeam).
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope in which threads borrowing local data can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` carries its panic
+        /// payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives `()`
+        /// (see module docs).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(())) }
+        }
+    }
+
+    /// Run `f` with a scope handle; all threads spawned in the scope
+    /// are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_borrows_and_joins() {
+        let data = [1, 2, 3, 4];
+        let total: i32 = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|part| scope.spawn(move |_| part.iter().sum::<i32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn panics_surface_through_join() {
+        crate::thread::scope(|scope| {
+            let h = scope.spawn(|_| panic!("boom"));
+            assert!(h.join().is_err());
+        })
+        .unwrap();
+    }
+}

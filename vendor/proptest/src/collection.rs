@@ -1,0 +1,46 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Vec<T>` with a length drawn from a range.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    min: usize,
+    max_exclusive: usize,
+}
+
+/// `Vec` whose length is drawn from `size` (half-open, like real
+/// proptest's `vec(elem, 0..40)`).
+pub fn vec<S: Strategy>(elem: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty size range for collection::vec");
+    VecStrategy { elem, min: size.start, max_exclusive: size.end }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.usize_in(self.min, self.max_exclusive - 1);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::vec;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn length_stays_in_range() {
+        let strat = vec(0u8..10, 2..6);
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..300 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|e| *e < 10));
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the API subset its property tests use: the [`Strategy`]
+//! trait with `prop_map` / `prop_filter` / `prop_recursive`, tuple and
+//! range strategies, regex-lite string strategies, `any::<T>()`,
+//! [`collection::vec`], [`option::of`], `Just`, `prop_oneof!`, and the
+//! `proptest!` macro.
+//!
+//! Differences from real proptest, deliberate for this environment:
+//!
+//! - **No shrinking.** A failing case panics with the generated inputs
+//!   via the normal assertion message; it does not minimize.
+//! - **Deterministic seeding.** Each test's RNG is seeded from the
+//!   test's module path and name, so failures reproduce across runs
+//!   (override with `PROPTEST_SEED=<u64>` to explore other cases).
+//! - Regex strategies support the subset the workspace uses:
+//!   character classes, escapes, and `{n}` / `{n,m}` / `?` / `*` / `+`
+//!   quantifiers over a concatenation of atoms.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Choose among strategies, optionally weighted (`w => strat`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(binding in strategy, ...)` runs
+/// its body over `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for _ in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}

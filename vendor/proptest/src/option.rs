@@ -1,0 +1,43 @@
+//! `Option` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Option<T>` (see [`of`]).
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// `Some` three times out of four, `None` otherwise — matching real
+/// proptest's default bias toward present values.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::of;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn mixes_some_and_none() {
+        let strat = of(0i64..100);
+        let mut rng = TestRng::from_seed(8);
+        let somes = (0..400).filter(|_| strat.generate(&mut rng).is_some()).count();
+        assert!((200..400).contains(&somes), "saw {somes} Some values");
+    }
+}

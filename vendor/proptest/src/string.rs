@@ -1,0 +1,204 @@
+//! Regex-lite string strategies: `"[a-z]{1,8}"` as a `Strategy<Value
+//! = String>`, like real proptest's `&str` impl.
+//!
+//! Supported syntax (the subset the workspace's tests use): literal
+//! characters, `\\`-escapes, character classes with ranges and
+//! negation-free members, and the quantifiers `{n}`, `{n,m}`, `?`,
+//! `*`, `+` applied to the preceding atom.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Inclusive char ranges; singles are `(c, c)`.
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Pattern {
+    pieces: Vec<Piece>,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pat: &str) -> Atom {
+    let mut ranges = Vec::new();
+    loop {
+        let c = chars.next().unwrap_or_else(|| panic!("unterminated class in {pat:?}"));
+        if c == ']' {
+            break;
+        }
+        let lo = if c == '\\' {
+            chars.next().unwrap_or_else(|| panic!("dangling escape in {pat:?}"))
+        } else {
+            c
+        };
+        // `a-z` range, unless the dash is the literal last member.
+        if chars.peek() == Some(&'-') {
+            let mut ahead = chars.clone();
+            ahead.next();
+            if ahead.peek().is_some_and(|c| *c != ']') {
+                chars.next();
+                let c2 = chars.next().unwrap();
+                let hi = if c2 == '\\' {
+                    chars.next().unwrap_or_else(|| panic!("dangling escape in {pat:?}"))
+                } else {
+                    c2
+                };
+                assert!(lo <= hi, "inverted range {lo}-{hi} in {pat:?}");
+                ranges.push((lo, hi));
+                continue;
+            }
+        }
+        ranges.push((lo, lo));
+    }
+    assert!(!ranges.is_empty(), "empty character class in {pat:?}");
+    Atom::Class(ranges)
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pat: &str,
+) -> (usize, usize) {
+    match chars.peek() {
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(c) => body.push(c),
+                    None => panic!("unterminated quantifier in {pat:?}"),
+                }
+            }
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().unwrap_or_else(|_| panic!("bad quantifier in {pat:?}")),
+                    hi.trim().parse().unwrap_or_else(|_| panic!("bad quantifier in {pat:?}")),
+                ),
+                None => {
+                    let n =
+                        body.trim().parse().unwrap_or_else(|_| panic!("bad quantifier in {pat:?}"));
+                    (n, n)
+                }
+            };
+            assert!(min <= max, "inverted quantifier in {pat:?}");
+            (min, max)
+        }
+        _ => (1, 1),
+    }
+}
+
+impl Pattern {
+    pub(crate) fn parse(pat: &str) -> Pattern {
+        let mut chars = pat.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => parse_class(&mut chars, pat),
+                '\\' => Atom::Literal(
+                    chars.next().unwrap_or_else(|| panic!("dangling escape in {pat:?}")),
+                ),
+                '.' => Atom::Class(vec![(' ', '~')]),
+                other => Atom::Literal(other),
+            };
+            let (min, max) = parse_quantifier(&mut chars, pat);
+            pieces.push(Piece { atom, min, max });
+        }
+        Pattern { pieces }
+    }
+
+    pub(crate) fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let count = rng.usize_in(piece.min, piece.max);
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let total: u64 =
+                            ranges.iter().map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1).sum();
+                        let mut pick = rng.below(total);
+                        for (lo, hi) in ranges {
+                            let span = (*hi as u64) - (*lo as u64) + 1;
+                            if pick < span {
+                                out.push(char::from_u32(*lo as u32 + pick as u32).unwrap());
+                                break;
+                            }
+                            pick -= span;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Parsing per draw keeps `&str` a zero-state strategy; the
+        // patterns in use are tiny, so this is not a bottleneck.
+        Pattern::parse(self).generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn all_match(pat: &'static str, check: impl Fn(&str) -> bool) {
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..300 {
+            let s = pat.generate(&mut rng);
+            assert!(check(&s), "pattern {pat:?} produced {s:?}");
+        }
+    }
+
+    #[test]
+    fn tag_name_pattern() {
+        all_match("[a-zA-Z][a-zA-Z0-9_.-]{0,11}", |s| {
+            let mut cs = s.chars();
+            let first = cs.next().unwrap();
+            first.is_ascii_alphabetic()
+                && s.len() <= 12
+                && cs.all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c))
+        });
+    }
+
+    #[test]
+    fn printable_ascii_with_bound() {
+        all_match("[ -~]{0,12}", |s| s.len() <= 12 && s.chars().all(|c| (' '..='~').contains(&c)));
+    }
+
+    #[test]
+    fn escapes_and_quantifiers() {
+        all_match("a\\[x?[0-9]+", |s| {
+            let rest = s.strip_prefix("a[").expect("literal prefix");
+            let rest = rest.strip_prefix('x').unwrap_or(rest);
+            !rest.is_empty() && rest.chars().all(|c| c.is_ascii_digit())
+        });
+    }
+}

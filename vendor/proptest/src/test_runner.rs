@@ -1,0 +1,128 @@
+//! Test configuration and the deterministic RNG driving generation.
+
+/// Subset of proptest's configuration honored by this stand-in.
+///
+/// Only `cases` changes behavior; the other fields exist so call sites
+/// written against real proptest (`..ProptestConfig::default()`) keep
+/// compiling.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases each `proptest!` function runs.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; filters that reject more than this
+    /// many candidates in a row abort the test.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_shrink_iters: 0, max_global_rejects: 1024 }
+    }
+}
+
+/// Deterministic RNG used for value generation (xoshiro256** seeded
+/// through splitmix64, like the vendored `rand` stand-in).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Build from an explicit 64-bit seed.
+    pub fn from_seed(seed: u64) -> TestRng {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        TestRng { s }
+    }
+
+    /// Seed from a test identity (module path + fn name) so failures
+    /// reproduce run to run. `PROPTEST_SEED=<u64>` overrides.
+    pub fn deterministic(tag: &str) -> TestRng {
+        if let Ok(v) = std::env::var("PROPTEST_SEED") {
+            if let Ok(seed) = v.trim().parse::<u64>() {
+                return TestRng::from_seed(seed);
+            }
+        }
+        // FNV-1a over the tag.
+        let mut h = 0xcbf29ce484222325u64;
+        for b in tag.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng::from_seed(h)
+    }
+
+    /// Next uniform 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw below `n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform draw from `[lo, hi]` inclusive.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + self.below((hi - lo + 1) as u64) as usize
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TestRng;
+
+    #[test]
+    fn deterministic_per_tag() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::deterministic("mod::test_a");
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::deterministic("mod::test_a");
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let mut other = TestRng::deterministic("mod::test_b");
+        let c: Vec<u64> = (0..10).map(|_| other.next_u64()).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn usize_in_bounds() {
+        let mut r = TestRng::from_seed(3);
+        for _ in 0..1000 {
+            let v = r.usize_in(2, 9);
+            assert!((2..=9).contains(&v));
+        }
+        assert_eq!(r.usize_in(5, 5), 5);
+    }
+}
