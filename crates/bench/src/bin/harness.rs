@@ -8,7 +8,9 @@
 //!
 //! `--json` additionally dumps the observability registry accumulated
 //! across the run (catalog spans, per-layer counters, latency
-//! histograms) to `BENCH_obs.json` for machine consumption.
+//! histograms) to `BENCH_obs.json` for machine consumption, and — when
+//! the `perf` experiment ran — the plan-style comparison to
+//! `BENCH_perf.json` (checked in CI by the `perfcheck` binary).
 
 use benchkit::experiments::{self, Scale};
 
@@ -19,12 +21,13 @@ fn main() {
     let scale = if quick { Scale::Quick } else { Scale::Full };
     let mut wanted: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
-        wanted = ["figs", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"]
+        wanted = ["figs", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "perf"]
             .iter()
             .map(|s| s.to_string())
             .collect();
     }
 
+    let mut perf_entries: Vec<experiments::PerfEntry> = Vec::new();
     println!("mylead evaluation harness — scale: {scale:?}\n");
     for w in &wanted {
         let t0 = std::time::Instant::now();
@@ -93,7 +96,17 @@ fn main() {
                     Err(e) => eprintln!("e8 failed: {e}"),
                 }
             }
-            other => eprintln!("unknown experiment: {other} (use e1..e8, figs, all)"),
+            "perf" => {
+                println!("== Perf: match path, materialized hash joins vs semi-join pipelines ==");
+                match experiments::perf(scale) {
+                    Ok((t, entries)) => {
+                        println!("{}", t.render());
+                        perf_entries = entries;
+                    }
+                    Err(e) => eprintln!("perf failed: {e}"),
+                }
+            }
+            other => eprintln!("unknown experiment: {other} (use e1..e8, figs, perf, all)"),
         }
         eprintln!("[{w} took {:.1}s]\n", t0.elapsed().as_secs_f64());
     }
@@ -103,6 +116,13 @@ fn main() {
         match std::fs::write(path, obs::global().render_json()) {
             Ok(()) => eprintln!("[observability registry written to {path}]"),
             Err(e) => eprintln!("[cannot write {path}: {e}]"),
+        }
+        if !perf_entries.is_empty() {
+            let path = "BENCH_perf.json";
+            match std::fs::write(path, experiments::render_perf_json(scale, &perf_entries)) {
+                Ok(()) => eprintln!("[perf comparison written to {path}]"),
+                Err(e) => eprintln!("[cannot write {path}: {e}]"),
+            }
         }
     }
 }

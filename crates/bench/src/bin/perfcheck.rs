@@ -1,0 +1,204 @@
+//! CI gate over `BENCH_perf.json` (the harness `perf` experiment).
+//!
+//! ```sh
+//! perfcheck <current.json> [baseline.json] [--max-regress 2.0]
+//! ```
+//!
+//! Fails (exit 1) when the current file is malformed, when any workload
+//! is missing a plan style or the styles disagree on hits, when the
+//! semi-join pipeline is more than `--max-regress` times slower than
+//! the materialized plans it replaced, or — given a baseline — when any
+//! workload's semi-join latency regressed more than `--max-regress`
+//! times against it.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One parsed entry: (style → (median_us, hits)) keyed by workload.
+type Entries = BTreeMap<String, BTreeMap<String, (f64, usize)>>;
+
+/// Minimal parser for the exact shape `render_perf_json` emits — one
+/// entry object per line. Anything surprising is a hard error: the file
+/// is machine-written, so leniency only hides breakage.
+fn parse(text: &str) -> Result<Entries, String> {
+    if !text.contains("\"schema\": \"mylead-bench-perf/v1\"") {
+        return Err("missing or unknown schema marker".into());
+    }
+    fn field<'a>(line: &'a str, name: &str) -> Result<&'a str, String> {
+        let tag = format!("\"{name}\": ");
+        let start =
+            line.find(&tag).ok_or_else(|| format!("no field {name:?} in {line:?}"))? + tag.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}']).ok_or_else(|| format!("unterminated field {name:?}"))?;
+        Ok(rest[..end].trim().trim_matches('"'))
+    }
+    let mut out = Entries::new();
+    for line in text.lines().filter(|l| l.trim_start().starts_with("{\"workload\"")) {
+        let workload = field(line, "workload")?.to_string();
+        let style = field(line, "style")?.to_string();
+        let median_us: f64 = field(line, "median_us")?
+            .parse()
+            .map_err(|e| format!("bad median_us in {line:?}: {e}"))?;
+        let hits: usize =
+            field(line, "hits")?.parse().map_err(|e| format!("bad hits in {line:?}: {e}"))?;
+        if !(median_us.is_finite() && median_us >= 0.0) {
+            return Err(format!("non-finite median_us in {line:?}"));
+        }
+        out.entry(workload).or_default().insert(style, (median_us, hits));
+    }
+    if out.is_empty() {
+        return Err("no perf entries found".into());
+    }
+    Ok(out)
+}
+
+fn check(current: &Entries, baseline: Option<&Entries>, max_regress: f64) -> Vec<String> {
+    let mut problems = Vec::new();
+    for (workload, styles) in current {
+        let (Some(&(mat, mat_hits)), Some(&(semi, semi_hits))) =
+            (styles.get("materialized"), styles.get("semijoin"))
+        else {
+            problems.push(format!("{workload}: missing a plan style ({:?})", styles.keys()));
+            continue;
+        };
+        if mat_hits != semi_hits {
+            problems
+                .push(format!("{workload}: styles disagree on hits ({mat_hits} vs {semi_hits})"));
+        }
+        if semi > mat * max_regress {
+            problems.push(format!(
+                "{workload}: semi-join {semi:.1}us is >{max_regress}x the materialized {mat:.1}us"
+            ));
+        }
+        if let Some(base) = baseline {
+            if let Some(&(base_semi, _)) = base.get(workload).and_then(|s| s.get("semijoin")) {
+                if semi > base_semi * max_regress {
+                    problems.push(format!(
+                        "{workload}: semi-join {semi:.1}us regressed >{max_regress}x vs baseline {base_semi:.1}us"
+                    ));
+                }
+            }
+        }
+    }
+    problems
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut max_regress = 2.0f64;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--max-regress" {
+            match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => max_regress = v,
+                None => {
+                    eprintln!("--max-regress needs a number");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            paths.push(a);
+        }
+    }
+    let (Some(current_path), baseline_path) = (paths.first(), paths.get(1)) else {
+        eprintln!("usage: perfcheck <current.json> [baseline.json] [--max-regress 2.0]");
+        return ExitCode::FAILURE;
+    };
+
+    let load = |path: &str| -> Result<Entries, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let current = match load(current_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("perfcheck: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match baseline_path {
+        Some(p) => match load(p) {
+            Ok(b) => Some(b),
+            Err(e) => {
+                eprintln!("perfcheck: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let problems = check(&current, baseline.as_ref(), max_regress);
+    for (workload, styles) in &current {
+        if let (Some((mat, _)), Some((semi, hits))) =
+            (styles.get("materialized"), styles.get("semijoin"))
+        {
+            println!(
+                "{workload}: materialized {mat:.1}us, semi-join {semi:.1}us ({:.2}x), hits {hits}",
+                mat / semi.max(1e-9)
+            );
+        }
+    }
+    if problems.is_empty() {
+        println!("perfcheck: OK ({} workloads, max regress {max_regress}x)", current.len());
+        ExitCode::SUCCESS
+    } else {
+        for p in &problems {
+            eprintln!("perfcheck: FAIL {p}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> String {
+        benchkit::experiments::render_perf_json(
+            benchkit::experiments::Scale::Quick,
+            &[
+                benchkit::experiments::PerfEntry {
+                    workload: "w".into(),
+                    style: "materialized".into(),
+                    median_us: 100.0,
+                    hits: 7,
+                },
+                benchkit::experiments::PerfEntry {
+                    workload: "w".into(),
+                    style: "semijoin".into(),
+                    median_us: 40.0,
+                    hits: 7,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn parses_renderer_output() {
+        let entries = parse(&sample()).unwrap();
+        assert_eq!(entries["w"]["semijoin"], (40.0, 7));
+        assert!(check(&entries, None, 2.0).is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("{}").is_err());
+        assert!(parse(&sample().replace("mylead-bench-perf/v1", "other")).is_err());
+        assert!(parse(&sample().replace("40.000", "oops")).is_err());
+    }
+
+    #[test]
+    fn flags_regressions() {
+        let entries = parse(&sample()).unwrap();
+        let slow = parse(&sample().replace("40.000", "250.000")).unwrap();
+        // Within-run: semi-join >2x materialized.
+        assert!(!check(&slow, None, 2.0).is_empty());
+        // Vs baseline: semi-join regressed >2x.
+        assert!(!check(&slow, Some(&entries), 2.0).is_empty());
+        assert!(check(&entries, Some(&entries), 2.0).is_empty());
+        // Styles disagreeing on hits is a failure.
+        let bad_hits = parse(&sample().replacen("\"hits\": 7", "\"hits\": 3", 1)).unwrap();
+        assert!(!check(&bad_hits, None, 2.0).is_empty());
+    }
+}

@@ -427,6 +427,111 @@ pub fn e8_concurrent(scale: Scale) -> Result<Table> {
     Ok(t)
 }
 
+/// One measurement of the set-oriented-executor perf comparison: a
+/// workload × plan-style pair.
+#[derive(Debug, Clone)]
+pub struct PerfEntry {
+    /// Workload label (stable across runs; perfcheck joins on it).
+    pub workload: String,
+    /// `"materialized"` (the old hash-join plans) or `"semijoin"`.
+    pub style: String,
+    /// Median per-query latency in microseconds.
+    pub median_us: f64,
+    /// Total hits across the query batch (equal for both styles).
+    pub hits: usize,
+}
+
+/// Perf — the set-oriented executor before/after comparison.
+///
+/// Runs the Fig-4 nested and multi-criterion workloads twice on the
+/// same catalog: once with the old materializing hash-join plans
+/// (`PlanStyle::Materialized`) and once with the semi-join pipelines
+/// (`PlanStyle::SemiJoin`, the default the catalog now executes). Both
+/// styles must produce identical hits; the table reports the speedup
+/// and the entries feed `BENCH_perf.json`.
+pub fn perf(scale: Scale) -> Result<(Table, Vec<PerfEntry>)> {
+    use catalog::engine::PlanStyle;
+    let n = scale.pick(150, 1500);
+    let reps = scale.pick(6, 15);
+    let workloads: Vec<(&str, WorkloadConfig, QueryShape)> = vec![
+        ("fig4-nested-d1", WorkloadConfig { sub_depth: 1, ..default() }, QueryShape::Nested(1)),
+        (
+            "nested-d3",
+            WorkloadConfig { sub_depth: 3, dynamics_per_doc: 2, ..default() },
+            QueryShape::Nested(3),
+        ),
+        ("conjunctive-x2", default(), QueryShape::Conjunctive(2)),
+        ("conjunctive-x4", default(), QueryShape::Conjunctive(4)),
+        ("dyn-eq", default(), QueryShape::DynamicEq),
+    ];
+    let mut t = Table::new(&["workload", "materialized", "semi-join", "speedup", "hits"]);
+    let mut entries = Vec::new();
+    for (label, cfg, shape) in workloads {
+        let generator = generator(cfg);
+        let hybrid = hybrid_backend(&generator)?;
+        for d in generator.corpus(n) {
+            hybrid.ingest(&d)?;
+        }
+        let cat = hybrid.catalog();
+        let queries = QueryGenerator::new(&generator, 1234).batch(shape, reps);
+        let mut medians = [0f64; 2];
+        let mut style_hits = [0usize; 2];
+        for (si, (sname, style)) in
+            [("materialized", PlanStyle::Materialized), ("semijoin", PlanStyle::SemiJoin)]
+                .into_iter()
+                .enumerate()
+        {
+            let mut hits = 0usize;
+            let secs = median_secs(scale.pick(3, 5), || {
+                hits = 0;
+                for q in &queries {
+                    hits += cat.query_styled(q, MatchStrategy::Exact, style).expect("query").len();
+                }
+            }) / queries.len() as f64;
+            medians[si] = secs;
+            style_hits[si] = hits;
+            entries.push(PerfEntry {
+                workload: label.to_string(),
+                style: sname.to_string(),
+                median_us: secs * 1e6,
+                hits,
+            });
+        }
+        assert_eq!(style_hits[0], style_hits[1], "plan styles disagree on {label}");
+        t.row(vec![
+            label.to_string(),
+            fmt_secs(medians[0]),
+            fmt_secs(medians[1]),
+            format!("{:.2}x", medians[0] / medians[1].max(1e-12)),
+            style_hits[0].to_string(),
+        ]);
+    }
+    Ok((t, entries))
+}
+
+/// Render perf entries as the `BENCH_perf.json` document (hand-rolled —
+/// the workspace has no JSON dependency). Consumed by the `perfcheck`
+/// CI gate; keep the field set in sync with its parser.
+pub fn render_perf_json(scale: Scale, entries: &[PerfEntry]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"mylead-bench-perf/v1\",\n");
+    out.push_str(&format!(
+        "  \"scale\": \"{}\",\n  \"entries\": [\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    ));
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"style\": \"{}\", \"median_us\": {:.3}, \"hits\": {}}}{comma}\n",
+            e.workload, e.style, e.median_us, e.hits
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn default() -> WorkloadConfig {
     WorkloadConfig::default()
 }

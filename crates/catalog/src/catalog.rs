@@ -2,18 +2,74 @@
 //! object (what myLEAD's server exposes to the grid).
 
 use crate::defs::{AttrId, DefLevel, DefsRegistry, DynamicAttrSpec};
-use crate::engine::{run_flat_query, run_query, MatchStrategy};
+use crate::engine::{execute_match_plan, run_flat_query, MatchStrategy};
 use crate::error::{CatalogError, Result};
 use crate::ordering::GlobalOrdering;
 use crate::partition::Partition;
+use crate::qparse::normalize_query;
 use crate::query::ObjectQuery;
 use crate::response;
 use crate::shred::{DynamicConvention, ShredOptions, ShreddedDoc, Shredder};
 use crate::store;
 use minidb::{Database, Expr, Plan, Value};
-use parking_lot::RwLock;
-use std::sync::atomic::{AtomicI64, Ordering as AtomicOrdering};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
 use xmlkit::dom::Document;
+
+/// Maximum cached match plans; least-recently-used entries are evicted.
+const PLAN_CACHE_CAP: usize = 128;
+
+/// One cached plan, tagged with the defs epoch it was built under.
+struct CacheEntry {
+    epoch: u64,
+    last_used: u64,
+    plan: Arc<Plan>,
+}
+
+/// LRU cache of built match plans keyed by `(strategy, normalized
+/// query)`. Entries built under an older definitions epoch are treated
+/// as absent (new definitions can change how a query resolves).
+#[derive(Default)]
+struct PlanCache {
+    map: HashMap<String, CacheEntry>,
+    tick: u64,
+}
+
+impl PlanCache {
+    fn get(&mut self, key: &str, epoch: u64) -> Option<Arc<Plan>> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(e) if e.epoch == epoch => {
+                e.last_used = self.tick;
+                Some(e.plan.clone())
+            }
+            Some(_) => {
+                self.map.remove(key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    fn put(&mut self, key: String, epoch: u64, plan: Arc<Plan>) {
+        self.tick += 1;
+        if self.map.len() >= PLAN_CACHE_CAP && !self.map.contains_key(&key) {
+            if let Some(victim) =
+                self.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+            }
+        }
+        let last_used = self.tick;
+        self.map.insert(key, CacheEntry { epoch, last_used, plan });
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
 
 /// Catalog configuration.
 #[derive(Debug, Clone, Default)]
@@ -61,6 +117,10 @@ pub struct MetadataCatalog {
     defs: RwLock<DefsRegistry>,
     config: CatalogConfig,
     next_object: AtomicI64,
+    /// Bumped whenever attribute definitions change; cached plans from
+    /// older epochs are invalid.
+    defs_epoch: AtomicU64,
+    plan_cache: Mutex<PlanCache>,
 }
 
 impl MetadataCatalog {
@@ -79,6 +139,8 @@ impl MetadataCatalog {
             defs: RwLock::new(defs),
             config,
             next_object: AtomicI64::new(1),
+            defs_epoch: AtomicU64::new(0),
+            plan_cache: Mutex::new(PlanCache::default()),
         })
     }
 
@@ -99,6 +161,8 @@ impl MetadataCatalog {
             defs: RwLock::new(defs),
             config,
             next_object: AtomicI64::new(next_object),
+            defs_epoch: AtomicU64::new(0),
+            plan_cache: Mutex::new(PlanCache::default()),
         })
     }
 
@@ -132,6 +196,7 @@ impl MetadataCatalog {
         let mut defs = self.defs.write();
         let id = defs.register_dynamic(&self.partition, &self.ordering, anchor, spec, level)?;
         store::sync_defs(&self.db, &defs)?;
+        self.defs_epoch.fetch_add(1, AtomicOrdering::SeqCst);
         Ok(id)
     }
 
@@ -172,6 +237,7 @@ impl MetadataCatalog {
                     );
                 }
                 store::sync_defs(&self.db, &defs)?;
+                self.defs_epoch.fetch_add(1, AtomicOrdering::SeqCst);
             }
             let defs = self.defs.read();
             let shredder = Shredder::new(
@@ -389,16 +455,55 @@ impl MetadataCatalog {
         Ok(ids)
     }
 
+    /// Fetch the match plan for `(strategy, q)` from the LRU plan
+    /// cache, building (and caching) it on a miss. Entries are tagged
+    /// with the definitions epoch, so [`MetadataCatalog::register_dynamic`]
+    /// implicitly invalidates every cached plan.
+    fn cached_plan(&self, q: &ObjectQuery, strategy: MatchStrategy) -> Result<Arc<Plan>> {
+        let reg = obs::global();
+        let epoch = self.defs_epoch.load(AtomicOrdering::SeqCst);
+        let key = format!("{strategy:?}|{}", normalize_query(q));
+        if let Some(plan) = self.plan_cache.lock().get(&key, epoch) {
+            reg.counter("catalog.plan_cache.hit").incr();
+            return Ok(plan);
+        }
+        reg.counter("catalog.plan_cache.miss").incr();
+        let plan = {
+            let defs = self.defs.read();
+            let _span = reg.span("catalog.query.plan_build");
+            Arc::new(crate::engine::build_query_plan(&defs, q, strategy)?)
+        };
+        self.plan_cache.lock().put(key, epoch, plan.clone());
+        Ok(plan)
+    }
+
+    /// Number of plans currently held by the plan cache.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.lock().len()
+    }
+
     /// Run an attribute query; returns sorted matching object ids.
     pub fn query(&self, q: &ObjectQuery) -> Result<Vec<i64>> {
-        let defs = self.defs.read();
-        run_query(&self.db, &defs, q, self.config.strategy)
+        let plan = self.cached_plan(q, self.config.strategy)?;
+        execute_match_plan(&self.db, &plan)
     }
 
     /// Run a query with an explicit strategy (ablations).
     pub fn query_with(&self, q: &ObjectQuery, strategy: MatchStrategy) -> Result<Vec<i64>> {
+        let plan = self.cached_plan(q, strategy)?;
+        execute_match_plan(&self.db, &plan)
+    }
+
+    /// Run a query with an explicit strategy *and* plan style,
+    /// bypassing the plan cache (ablations and agreement tests).
+    pub fn query_styled(
+        &self,
+        q: &ObjectQuery,
+        strategy: MatchStrategy,
+        style: crate::engine::PlanStyle,
+    ) -> Result<Vec<i64>> {
         let defs = self.defs.read();
-        run_query(&self.db, &defs, q, strategy)
+        crate::engine::run_query_styled(&self.db, &defs, q, strategy, style)
     }
 
     /// The §4 "significantly simplified" flat path (no sub-attributes).
@@ -407,13 +512,22 @@ impl MetadataCatalog {
         run_flat_query(&self.db, &defs, q)
     }
 
+    /// [`MetadataCatalog::query_flat`] with an explicit plan style.
+    pub fn query_flat_styled(
+        &self,
+        q: &ObjectQuery,
+        style: crate::engine::PlanStyle,
+    ) -> Result<Vec<i64>> {
+        let defs = self.defs.read();
+        crate::engine::run_flat_query_styled(&self.db, &defs, q, style)
+    }
+
     /// Run the query's match plan under the profiler and render the
     /// operator tree annotated with actual row counts and timings —
     /// `EXPLAIN ANALYZE` for the catalog's query path. The analyzed
     /// plan is exactly the one [`MetadataCatalog::query`] executes.
     pub fn explain_analyze(&self, q: &ObjectQuery) -> Result<String> {
-        let defs = self.defs.read();
-        let plan = crate::engine::build_query_plan(&defs, q, self.config.strategy)?;
+        let plan = self.cached_plan(q, self.config.strategy)?;
         Ok(minidb::explain_analyze(&plan, &self.db)?)
     }
 

@@ -50,6 +50,47 @@ pub fn parse_query(src: &str) -> Result<ObjectQuery> {
     Ok(q)
 }
 
+/// Render a query in canonical text for use as a plan-cache key.
+///
+/// Conjunctions are order-insensitive, so top-level criteria, element
+/// conditions, and sibling sub-attribute criteria are each sorted —
+/// semantically identical queries written in different orders normalize
+/// to the same string. The format is `Debug`-based and not meant to be
+/// re-parsed.
+pub fn normalize_query(q: &ObjectQuery) -> String {
+    let mut parts: Vec<String> = q.attrs.iter().map(normalize_attr).collect();
+    parts.sort();
+    parts.join(";")
+}
+
+fn normalize_attr(a: &AttrQuery) -> String {
+    let mut s = a.name.clone();
+    if let Some(src) = &a.source {
+        s.push('@');
+        s.push_str(src);
+    }
+    let mut elems: Vec<String> = a
+        .elems
+        .iter()
+        .map(|c| format!("[{} {:?} {:?} {:?}]", c.name, c.op, c.value, c.value2))
+        .collect();
+    elems.sort();
+    for e in &elems {
+        s.push_str(e);
+    }
+    if a.direct_subs {
+        s.push('!');
+    }
+    if !a.subs.is_empty() {
+        let mut subs: Vec<String> = a.subs.iter().map(normalize_attr).collect();
+        subs.sort();
+        s.push('{');
+        s.push_str(&subs.join(","));
+        s.push('}');
+    }
+    s
+}
+
 struct Parser<'a> {
     src: &'a str,
     pos: usize,
@@ -284,6 +325,19 @@ mod tests {
         assert!(parse_query("a junk").is_err());
         assert!(parse_query("a[x='unterminated]").is_err());
         assert!(parse_query("a[x=1..'s']").is_err());
+    }
+
+    #[test]
+    fn normalization_is_order_insensitive() {
+        let a = parse_query("theme[themekey='rain']; grid@ARPS[dx=500][dz=1]").unwrap();
+        let b = parse_query("grid@ARPS[dz=1][dx=500]; theme[themekey='rain']").unwrap();
+        assert_eq!(normalize_query(&a), normalize_query(&b));
+        let c = parse_query("grid@ARPS[dz=2][dx=500]; theme[themekey='rain']").unwrap();
+        assert_ne!(normalize_query(&a), normalize_query(&c));
+        // Nested sibling subs sort too.
+        let d = parse_query("m@S{a@S[v=1], c@S[w=2]}").unwrap();
+        let e = parse_query("m@S{c@S[w=2], a@S[v=1]}").unwrap();
+        assert_eq!(normalize_query(&d), normalize_query(&e));
     }
 
     #[test]

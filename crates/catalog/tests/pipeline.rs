@@ -495,3 +495,45 @@ fn escaped_content_roundtrips_through_clobs() {
         .attr(AttrQuery::new("theme").elem(ElemCond::eq_str("themekey", "x < y")));
     assert_eq!(cat.query(&q).unwrap(), vec![id]);
 }
+
+#[test]
+fn plan_cache_reuses_plans_and_invalidates_on_register_dynamic() {
+    let cat = cat();
+    let id = cat.ingest(FIG3_DOCUMENT).unwrap();
+    assert_eq!(cat.plan_cache_len(), 0);
+
+    let q = fig4_query();
+    assert_eq!(cat.query(&q).unwrap(), vec![id]);
+    assert_eq!(cat.plan_cache_len(), 1, "first query populates the cache");
+    assert_eq!(cat.query(&q).unwrap(), vec![id]);
+    assert_eq!(cat.plan_cache_len(), 1, "repeat query hits the cached plan");
+
+    // Semantically identical criteria written in a different order
+    // normalize to the same cache key.
+    let a = parse_query("theme[themekey='rain']; grid@ARPS[dx=1000]").unwrap();
+    let b = parse_query("grid@ARPS[dx=1000]; theme[themekey='rain']").unwrap();
+    cat.query(&a).unwrap();
+    assert_eq!(cat.plan_cache_len(), 2);
+    cat.query(&b).unwrap();
+    assert_eq!(cat.plan_cache_len(), 2, "reordered conjunction shares the cache entry");
+
+    // A different strategy is a different plan.
+    cat.query_with(&q, MatchStrategy::Counted).unwrap();
+    assert_eq!(cat.plan_cache_len(), 3);
+
+    // Registering a dynamic attribute bumps the defs epoch; stale
+    // entries are dropped on next lookup and the query replans against
+    // the new definitions.
+    cat.register_dynamic(
+        catalog::lead::DETAILED_PATH,
+        &DynamicAttrSpec::new("model", "T").element("a", xmlkit::ValueType::Float),
+        DefLevel::Admin,
+    )
+    .unwrap();
+    assert_eq!(cat.query(&q).unwrap(), vec![id], "results unchanged after invalidation");
+    // Stale entries are evicted lazily, key by key: re-running `q`
+    // replaced its entry; the other two remain until touched or LRU'd.
+    assert_eq!(cat.plan_cache_len(), 3);
+    cat.query(&a).unwrap();
+    assert_eq!(cat.plan_cache_len(), 3, "stale entry for `a` swapped for a fresh one");
+}

@@ -9,15 +9,202 @@
 
 use crate::clob::ClobStore;
 use crate::error::{DbError, Result};
-use crate::exec::{run_aggregate, run_hash_join, JoinKind, Plan, ResultSet};
+use crate::exec::{run_aggregate, run_hash_join, run_semi_join, JoinKind, Plan, ResultSet};
 use crate::expr::Expr;
+use crate::keyset::{Key, KeySet, KeyedRows};
 use crate::profile::PlanProfile;
-use crate::table::{Row, Table, TableSchema};
-use crate::value::Value;
+use crate::table::{Index, Row, Table, TableSchema};
+use crate::value::{DataType, Value};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Maximum nesting depth of parallel join-side forks per query. Two
+/// levels means at most four worker threads per query — enough to cover
+/// the catalog's independent per-criterion subtrees without oversubscribing
+/// the server's request threads.
+const PAR_BUDGET: u8 = 2;
+
+/// Per-execution settings threaded through the operator tree.
+#[derive(Debug, Clone, Copy)]
+struct ExecCtx {
+    /// Fork independent join/semi-join sides onto scoped threads.
+    parallel: bool,
+    /// Remaining fork depth (each fork decrements).
+    par_budget: u8,
+}
+
+impl ExecCtx {
+    fn serial() -> ExecCtx {
+        ExecCtx { parallel: false, par_budget: 0 }
+    }
+
+    fn parallel() -> ExecCtx {
+        ExecCtx { parallel: true, par_budget: PAR_BUDGET }
+    }
+
+    fn fork(self) -> ExecCtx {
+        ExecCtx { par_budget: self.par_budget.saturating_sub(1), ..self }
+    }
+
+    /// Forking is allowed only on unprofiled runs: per-operator stats
+    /// collection threads one mutable profile through the tree, which
+    /// is inherently sequential.
+    fn can_fork(self, prof: &Option<PlanProfile>) -> bool {
+        self.parallel && self.par_budget > 0 && prof.is_none()
+    }
+}
+
+/// Run two independent subplan evaluations, the second on a scoped
+/// worker thread. Errors from either side surface; panics propagate.
+fn par2<A, B>(
+    a: impl FnOnce() -> Result<A> + Send,
+    b: impl FnOnce() -> Result<B> + Send,
+) -> Result<(A, B)>
+where
+    A: Send,
+    B: Send,
+{
+    let (ra, rb) = crossbeam::thread::scope(|s| {
+        let hb = s.spawn(|_| b());
+        let ra = a();
+        let rb = hb.join().expect("parallel subplan thread panicked");
+        (ra, rb)
+    })
+    .expect("crossbeam scope");
+    Ok((ra?, rb?))
+}
+
+/// Pick the index whose key covers the longest prefix of the
+/// predicate's `col = lit` conjuncts; returns the index plus the lookup
+/// key (shorter than the index key means prefix scan). The caller must
+/// re-apply the full predicate to the narrowed row set.
+fn select_index<'a>(guard: &'a Table, pred: &Expr) -> Option<(&'a Index, Vec<Value>)> {
+    let pairs = pred.eq_conjunct_terms();
+    if pairs.is_empty() {
+        return None;
+    }
+    let mut best: Option<(&Index, usize)> = None;
+    for idx in guard.indexes() {
+        let mut p = 0;
+        for &c in &idx.columns {
+            if pairs.iter().any(|(pc, _)| *pc == c) {
+                p += 1;
+            } else {
+                break;
+            }
+        }
+        if p > 0 && best.map(|(_, bp)| p > bp).unwrap_or(true) {
+            best = Some((idx, p));
+        }
+    }
+    best.map(|(idx, p)| {
+        let key: Vec<Value> = idx.columns[..p]
+            .iter()
+            .map(|c| {
+                pairs
+                    .iter()
+                    .find(|(pc, _)| pc == c)
+                    .map(|(_, v)| v.clone())
+                    .expect("prefix columns come from pairs")
+            })
+            .collect();
+        (idx, key)
+    })
+}
+
+/// Visit every row of `guard` matching `filter` (routing through the
+/// best covering index, as the generic scan does), in scan order.
+fn for_each_matching(
+    guard: &Table,
+    filter: Option<&Expr>,
+    mut f: impl FnMut(&Row) -> Result<()>,
+) -> Result<()> {
+    let Some(pred) = filter else {
+        for (_, r) in guard.scan() {
+            f(r)?;
+        }
+        return Ok(());
+    };
+    if let Some((idx, key)) = select_index(guard, pred) {
+        if key.len() == idx.columns.len() {
+            for &rid in idx.get(&key) {
+                if let Some(r) = guard.get(rid) {
+                    if pred.matches(r)? {
+                        f(r)?;
+                    }
+                }
+            }
+        } else {
+            for rid in idx.prefix_ids(&key) {
+                if let Some(r) = guard.get(rid) {
+                    if pred.matches(r)? {
+                        f(r)?;
+                    }
+                }
+            }
+        }
+    } else {
+        for (_, r) in guard.scan() {
+            if pred.matches(r)? {
+                f(r)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Read the `i64` at column `c` (the keyed fast path shape-checks
+/// columns as `INT NOT NULL` up front, so this is defensive).
+fn int_at(r: &Row, c: usize) -> Result<i64> {
+    match r.get(c) {
+        Some(Value::Int(v)) => Ok(*v),
+        other => Err(DbError::Plan(format!(
+            "keyed fast path expected INT at column #{c}, got {other:?}"
+        ))),
+    }
+}
+
+/// Extract a 1- or 2-column key from a materialized row.
+fn row_key(r: &Row, cols: &[usize]) -> Result<Key> {
+    let a = int_at(r, cols[0])?;
+    let b = if cols.len() == 2 { int_at(r, cols[1])? } else { 0 };
+    Ok((a, b))
+}
+
+/// Project a key through 1 or 2 key-column positions (0 = first
+/// component, 1 = second).
+#[inline]
+fn key_proj(k: Key, idxs: &[usize]) -> Key {
+    let at = |i: usize| if i == 0 { k.0 } else { k.1 };
+    (at(idxs[0]), if idxs.len() == 2 { at(idxs[1]) } else { 0 })
+}
+
+/// `true` when keys with `len` columns indexed by `idxs` are valid over
+/// a keyed input of the given arity.
+fn keys_ok(idxs: &[usize], arity: usize) -> bool {
+    (1..=2).contains(&idxs.len()) && idxs.iter().all(|&k| k < arity)
+}
+
+/// Output column names of a keyable subtree (bottoms out at the
+/// `Project` that names the key columns).
+fn keyed_columns(plan: &Plan) -> Option<Vec<String>> {
+    match plan {
+        Plan::Distinct { input } => keyed_columns(input),
+        Plan::HashSemiJoin { probe, .. } => keyed_columns(probe),
+        Plan::Project { exprs, .. } => Some(exprs.iter().map(|(_, n)| n.clone()).collect()),
+        _ => None,
+    }
+}
+
+/// Record keyed-fast-path stats for the operator at `path`.
+fn record_keyed(prof: &mut Option<PlanProfile>, start: Option<Instant>, path: &[u16], rows: usize) {
+    if let (Some(p), Some(s)) = (prof.as_mut(), start) {
+        let nanos = s.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        p.record_keyed(path.to_vec(), rows as u64, nanos);
+    }
+}
 
 /// An embedded, in-memory relational database.
 #[derive(Default)]
@@ -110,16 +297,26 @@ impl Database {
 
     /// Execute a physical plan to a materialized result.
     pub fn execute(&self, plan: &Plan) -> Result<ResultSet> {
-        self.exec_node(plan, &mut None, &mut Vec::new())
+        self.exec_node(plan, &mut None, &mut Vec::new(), ExecCtx::serial())
+    }
+
+    /// Execute a plan, evaluating independent hash-join / semi-join
+    /// sides on scoped worker threads (bounded fork depth). Results are
+    /// identical to [`Database::execute`]; use this for latency-bound
+    /// queries whose plans contain data-independent subtrees, such as
+    /// the catalog's per-criterion match branches.
+    pub fn execute_parallel(&self, plan: &Plan) -> Result<ResultSet> {
+        self.exec_node(plan, &mut None, &mut Vec::new(), ExecCtx::parallel())
     }
 
     /// Execute a plan while collecting per-operator row counts and
     /// inclusive wall timings; operators are addressed by plan path
     /// (see [`PlanProfile`]). Powers `EXPLAIN ANALYZE`
-    /// ([`crate::explain::explain_analyze`]).
+    /// ([`crate::explain::explain_analyze`]). Profiled runs are always
+    /// sequential so that per-branch timings are attributable.
     pub fn execute_profiled(&self, plan: &Plan) -> Result<(ResultSet, PlanProfile)> {
         let mut prof = Some(PlanProfile::default());
-        let rs = self.exec_node(plan, &mut prof, &mut Vec::new())?;
+        let rs = self.exec_node(plan, &mut prof, &mut Vec::new(), ExecCtx::serial())?;
         Ok((rs, prof.expect("profiler installed above")))
     }
 
@@ -129,9 +326,10 @@ impl Database {
         prof: &mut Option<PlanProfile>,
         path: &mut Vec<u16>,
         input_no: u16,
+        ctx: ExecCtx,
     ) -> Result<ResultSet> {
         path.push(input_no);
-        let result = self.exec_node(plan, prof, path);
+        let result = self.exec_node(plan, prof, path, ctx);
         path.pop();
         result
     }
@@ -141,7 +339,21 @@ impl Database {
         plan: &Plan,
         prof: &mut Option<PlanProfile>,
         path: &mut Vec<u16>,
+        ctx: ExecCtx,
     ) -> Result<ResultSet> {
+        // Set-oriented fast path: `Distinct` / semi-join subtrees whose
+        // leaves project `INT NOT NULL` columns execute over compact
+        // `(i64, i64)` keys, never cloning full rows. The early return
+        // skips the generic stats recorder below — `eval_keys` records
+        // its own per-operator stats flagged as keyed.
+        if matches!(plan, Plan::Distinct { .. } | Plan::HashSemiJoin { .. })
+            && self.keyed_arity(plan).is_some()
+        {
+            if let Some(columns) = keyed_columns(plan) {
+                let keyed = self.eval_keys(plan, prof, path, ctx)?;
+                return Ok(ResultSet { columns, rows: keyed.into_rows() });
+            }
+        }
         let start = prof.as_ref().map(|_| Instant::now());
         let result = match plan {
             Plan::Scan { table, filter } => {
@@ -150,67 +362,15 @@ impl Database {
                 let columns: Vec<String> =
                     guard.schema.columns.iter().map(|c| c.name.clone()).collect();
                 let mut rows = Vec::with_capacity(guard.len());
-                match filter {
-                    None => {
-                        for (_, r) in guard.scan() {
-                            rows.push(r.clone());
-                        }
-                    }
-                    Some(pred) => {
-                        // Route through the index whose key has the
-                        // longest prefix of the predicate's `col = lit`
-                        // conjuncts; the full predicate is re-applied to
-                        // the narrowed row set, so partial coverage (and
-                        // residual range/LIKE terms) stay correct.
-                        let pairs = pred.eq_conjunct_terms();
-                        let mut best: Option<(&crate::table::Index, usize)> = None;
-                        if !pairs.is_empty() {
-                            for idx in guard.indexes() {
-                                let mut p = 0;
-                                for &c in &idx.columns {
-                                    if pairs.iter().any(|(pc, _)| *pc == c) {
-                                        p += 1;
-                                    } else {
-                                        break;
-                                    }
-                                }
-                                if p > 0 && best.map(|(_, bp)| p > bp).unwrap_or(true) {
-                                    best = Some((idx, p));
-                                }
-                            }
-                        }
-                        if let Some((idx, p)) = best {
-                            let key: Vec<Value> = idx.columns[..p]
-                                .iter()
-                                .map(|c| {
-                                    pairs
-                                        .iter()
-                                        .find(|(pc, _)| pc == c)
-                                        .map(|(_, v)| v.clone())
-                                        .expect("prefix columns come from pairs")
-                                })
-                                .collect();
-                            let rids = if p == idx.columns.len() {
-                                idx.get(&key).to_vec()
-                            } else {
-                                idx.prefix(&key)
-                            };
-                            for rid in rids {
-                                if let Some(r) = guard.get(rid) {
-                                    if pred.matches(r)? {
-                                        rows.push(r.clone());
-                                    }
-                                }
-                            }
-                        } else {
-                            for (_, r) in guard.scan() {
-                                if pred.matches(r)? {
-                                    rows.push(r.clone());
-                                }
-                            }
-                        }
-                    }
-                }
+                // `for_each_matching` routes through the index whose key
+                // has the longest prefix of the predicate's `col = lit`
+                // conjuncts; the full predicate is re-applied to the
+                // narrowed row set, so partial coverage (and residual
+                // range/LIKE terms) stay correct.
+                for_each_matching(&guard, filter.as_ref(), |r| {
+                    rows.push(r.clone());
+                    Ok(())
+                })?;
                 Ok(ResultSet { columns, rows })
             }
             Plan::IndexLookup { table, index, key, filter } => {
@@ -219,13 +379,8 @@ impl Database {
                 let columns: Vec<String> =
                     guard.schema.columns.iter().map(|c| c.name.clone()).collect();
                 let idx = guard.index(index)?;
-                let rids: Vec<usize> = if key.len() < idx.columns.len() {
-                    idx.prefix(key)
-                } else {
-                    idx.get(key).to_vec()
-                };
-                let mut rows = Vec::with_capacity(rids.len());
-                for rid in rids {
+                let mut rows = Vec::new();
+                let mut visit = |rid: usize| -> Result<()> {
                     if let Some(r) = guard.get(rid) {
                         if match filter {
                             Some(p) => p.matches(r)?,
@@ -233,6 +388,16 @@ impl Database {
                         } {
                             rows.push(r.clone());
                         }
+                    }
+                    Ok(())
+                };
+                if key.len() < idx.columns.len() {
+                    for rid in idx.prefix_ids(key) {
+                        visit(rid)?;
+                    }
+                } else {
+                    for &rid in idx.get(key) {
+                        visit(rid)?;
                     }
                 }
                 Ok(ResultSet { columns, rows })
@@ -243,9 +408,8 @@ impl Database {
                 let columns: Vec<String> =
                     guard.schema.columns.iter().map(|c| c.name.clone()).collect();
                 let idx = guard.index(index)?;
-                let rids = idx.range(lo.as_deref(), hi.as_deref());
-                let mut rows = Vec::with_capacity(rids.len());
-                for rid in rids {
+                let mut rows = Vec::new();
+                for rid in idx.range_ids(lo.as_deref(), hi.as_deref()) {
                     if let Some(r) = guard.get(rid) {
                         if match filter {
                             Some(p) => p.matches(r)?,
@@ -261,7 +425,7 @@ impl Database {
                 Ok(ResultSet { columns: columns.clone(), rows: rows.clone() })
             }
             Plan::Filter { input, pred } => {
-                let mut rs = self.exec_child(input, prof, path, 0)?;
+                let mut rs = self.exec_child(input, prof, path, 0, ctx)?;
                 let mut kept = Vec::with_capacity(rs.rows.len());
                 for r in rs.rows.drain(..) {
                     if pred.matches(&r)? {
@@ -272,7 +436,7 @@ impl Database {
                 Ok(rs)
             }
             Plan::Project { input, exprs } => {
-                let rs = self.exec_child(input, prof, path, 0)?;
+                let rs = self.exec_child(input, prof, path, 0, ctx)?;
                 let columns: Vec<String> = exprs.iter().map(|(_, n)| n.clone()).collect();
                 let mut rows = Vec::with_capacity(rs.rows.len());
                 for r in &rs.rows {
@@ -285,13 +449,39 @@ impl Database {
                 Ok(ResultSet { columns, rows })
             }
             Plan::HashJoin { left, right, left_keys, right_keys, kind } => {
-                let l = self.exec_child(left, prof, path, 0)?;
-                let r = self.exec_child(right, prof, path, 1)?;
+                let (l, r) = if ctx.can_fork(prof) {
+                    let fc = ctx.fork();
+                    par2(
+                        || self.exec_node(left, &mut None, &mut Vec::new(), fc),
+                        || self.exec_node(right, &mut None, &mut Vec::new(), fc),
+                    )?
+                } else {
+                    let l = self.exec_child(left, prof, path, 0, ctx)?;
+                    let r = self.exec_child(right, prof, path, 1, ctx)?;
+                    (l, r)
+                };
                 run_hash_join(l, r, left_keys, right_keys, *kind)
             }
+            Plan::HashSemiJoin { probe, build, probe_keys, build_keys, anti } => {
+                // Generic (materializing) semi-join; keyable shapes were
+                // already diverted to the fast path above.
+                let (p, b) = if ctx.can_fork(prof) {
+                    let fc = ctx.fork();
+                    par2(
+                        || self.exec_node(probe, &mut None, &mut Vec::new(), fc),
+                        || self.exec_node(build, &mut None, &mut Vec::new(), fc),
+                    )?
+                } else {
+                    let p = self.exec_child(probe, prof, path, 0, ctx)?;
+                    let b = self.exec_child(build, prof, path, 1, ctx)?;
+                    (p, b)
+                };
+                obs::global().counter("minidb.semijoin.count").incr();
+                run_semi_join(p, &b, probe_keys, build_keys, *anti)
+            }
             Plan::NestedLoopJoin { left, right, pred, kind } => {
-                let l = self.exec_child(left, prof, path, 0)?;
-                let r = self.exec_child(right, prof, path, 1)?;
+                let l = self.exec_child(left, prof, path, 0, ctx)?;
+                let r = self.exec_child(right, prof, path, 1, ctx)?;
                 let mut columns = l.columns.clone();
                 columns.extend(r.columns.iter().cloned());
                 let right_arity = r.columns.len();
@@ -319,11 +509,11 @@ impl Database {
                 Ok(ResultSet { columns, rows })
             }
             Plan::Aggregate { input, group_by, aggs } => {
-                let rs = self.exec_child(input, prof, path, 0)?;
+                let rs = self.exec_child(input, prof, path, 0, ctx)?;
                 run_aggregate(rs, group_by, aggs)
             }
             Plan::Sort { input, keys } => {
-                let mut rs = self.exec_child(input, prof, path, 0)?;
+                let mut rs = self.exec_child(input, prof, path, 0, ctx)?;
                 rs.rows.sort_by(|a, b| {
                     for &(col, desc) in keys {
                         let ord = a[col].total_cmp(&b[col]);
@@ -337,13 +527,13 @@ impl Database {
                 Ok(rs)
             }
             Plan::Distinct { input } => {
-                let mut rs = self.exec_child(input, prof, path, 0)?;
+                let mut rs = self.exec_child(input, prof, path, 0, ctx)?;
                 let mut seen = std::collections::HashSet::new();
                 rs.rows.retain(|r| seen.insert(r.clone()));
                 Ok(rs)
             }
             Plan::Limit { input, n } => {
-                let mut rs = self.exec_child(input, prof, path, 0)?;
+                let mut rs = self.exec_child(input, prof, path, 0, ctx)?;
                 rs.rows.truncate(*n);
                 Ok(rs)
             }
@@ -353,6 +543,208 @@ impl Database {
             profile.record(path.clone(), rs.rows.len() as u64, nanos);
         }
         result
+    }
+
+    /// `true` when every listed column of `table` is `INT NOT NULL` —
+    /// the precondition for representing its rows as `(i64, i64)` keys.
+    fn int_non_null_cols(&self, table: &str, cols: &[usize]) -> bool {
+        let Ok(t) = self.table(table) else {
+            return false;
+        };
+        let guard = t.read();
+        cols.iter().all(|&c| {
+            guard
+                .schema
+                .columns
+                .get(c)
+                .map(|col| matches!(col.dtype, DataType::Int) && !col.nullable)
+                .unwrap_or(false)
+        })
+    }
+
+    /// Shape check for the set-oriented fast path: returns the key
+    /// arity (1 or 2) the subtree produces, or `None` when any part of
+    /// it needs generic row-at-a-time execution. Pure — nothing is
+    /// executed, so a `None` costs only the traversal.
+    fn keyed_arity(&self, plan: &Plan) -> Option<usize> {
+        match plan {
+            Plan::Distinct { input } => self.keyed_arity(input),
+            Plan::HashSemiJoin { probe, build, probe_keys, build_keys, .. } => {
+                let pa = self.keyed_arity(probe)?;
+                let ba = self.keyed_arity(build)?;
+                (keys_ok(probe_keys, pa)
+                    && keys_ok(build_keys, ba)
+                    && probe_keys.len() == build_keys.len())
+                .then_some(pa)
+            }
+            Plan::Project { input, exprs } => {
+                if exprs.is_empty() || exprs.len() > 2 {
+                    return None;
+                }
+                let mut cols = Vec::with_capacity(exprs.len());
+                for (e, _) in exprs {
+                    match e {
+                        Expr::Col(i) => cols.push(*i),
+                        _ => return None,
+                    }
+                }
+                match &**input {
+                    Plan::Scan { table, .. } => {
+                        self.int_non_null_cols(table, &cols).then_some(cols.len())
+                    }
+                    // Fused shape: project straight out of a semi-join
+                    // whose probe is a base-table scan (membership is
+                    // tested during the scan, before any projection).
+                    Plan::HashSemiJoin { probe, build, probe_keys, build_keys, .. }
+                        if matches!(&**probe, Plan::Scan { .. }) =>
+                    {
+                        let Plan::Scan { table, .. } = &**probe else {
+                            return None;
+                        };
+                        let ba = self.keyed_arity(build)?;
+                        let mut need = cols.clone();
+                        need.extend_from_slice(probe_keys);
+                        (self.int_non_null_cols(table, &need)
+                            && keys_ok(build_keys, ba)
+                            && (1..=2).contains(&probe_keys.len())
+                            && probe_keys.len() == build_keys.len())
+                        .then_some(cols.len())
+                    }
+                    other => {
+                        let a = self.keyed_arity(other)?;
+                        cols.iter().all(|&c| c < a).then_some(cols.len())
+                    }
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Execute a keyable subtree (see [`Database::keyed_arity`]) over
+    /// compact integer keys, recording keyed per-operator stats so
+    /// `EXPLAIN ANALYZE` output stays fully annotated.
+    fn eval_keys(
+        &self,
+        plan: &Plan,
+        prof: &mut Option<PlanProfile>,
+        path: &mut Vec<u16>,
+        ctx: ExecCtx,
+    ) -> Result<KeyedRows> {
+        let start = prof.as_ref().map(|_| Instant::now());
+        match plan {
+            Plan::Distinct { input } => {
+                path.push(0);
+                let k = self.eval_keys(input, prof, path, ctx)?;
+                path.pop();
+                let k = k.dedup_first_occurrence();
+                record_keyed(prof, start, path, k.keys.len());
+                Ok(k)
+            }
+            Plan::HashSemiJoin { probe, build, probe_keys, build_keys, anti } => {
+                let (mut pk, bk) = if ctx.can_fork(prof) {
+                    let fc = ctx.fork();
+                    par2(
+                        || self.eval_keys(probe, &mut None, &mut Vec::new(), fc),
+                        || self.eval_keys(build, &mut None, &mut Vec::new(), fc),
+                    )?
+                } else {
+                    path.push(1);
+                    let bk = self.eval_keys(build, prof, path, ctx)?;
+                    path.pop();
+                    path.push(0);
+                    let pk = self.eval_keys(probe, prof, path, ctx)?;
+                    path.pop();
+                    (pk, bk)
+                };
+                let set = KeySet::build(bk.keys.iter().map(|&k| key_proj(k, build_keys)).collect());
+                pk.keys.retain(|&k| set.contains(key_proj(k, probe_keys)) != *anti);
+                let reg = obs::global();
+                reg.counter("minidb.semijoin.count").incr();
+                reg.counter("minidb.semijoin.keyed").incr();
+                record_keyed(prof, start, path, pk.keys.len());
+                Ok(pk)
+            }
+            Plan::Project { input, exprs } => {
+                let mut cols = Vec::with_capacity(exprs.len());
+                for (e, _) in exprs {
+                    match e {
+                        Expr::Col(i) => cols.push(*i),
+                        other => {
+                            return Err(DbError::Plan(format!(
+                                "keyed fast path hit non-column projection {other:?}"
+                            )))
+                        }
+                    }
+                }
+                match &**input {
+                    Plan::Scan { table, filter } => {
+                        let t = self.table(table)?;
+                        let guard = t.read();
+                        let mut keys = Vec::new();
+                        for_each_matching(&guard, filter.as_ref(), |r| {
+                            keys.push(row_key(r, &cols)?);
+                            Ok(())
+                        })?;
+                        // One fused pass stands in for both operators.
+                        path.push(0);
+                        record_keyed(prof, start, path, keys.len());
+                        path.pop();
+                        record_keyed(prof, start, path, keys.len());
+                        Ok(KeyedRows { arity: cols.len(), keys })
+                    }
+                    Plan::HashSemiJoin { probe, build, probe_keys, build_keys, anti }
+                        if matches!(&**probe, Plan::Scan { .. }) =>
+                    {
+                        let Plan::Scan { table, filter } = &**probe else {
+                            unreachable!("guarded by the match arm");
+                        };
+                        path.push(0);
+                        path.push(1);
+                        let bk = self.eval_keys(build, prof, path, ctx)?;
+                        path.pop();
+                        path.pop();
+                        let set = KeySet::build(
+                            bk.keys.iter().map(|&k| key_proj(k, build_keys)).collect(),
+                        );
+                        let scan_start = prof.as_ref().map(|_| Instant::now());
+                        let t = self.table(table)?;
+                        let guard = t.read();
+                        let mut scanned = 0usize;
+                        let mut keys = Vec::new();
+                        for_each_matching(&guard, filter.as_ref(), |r| {
+                            scanned += 1;
+                            if set.contains(row_key(r, probe_keys)?) != *anti {
+                                keys.push(row_key(r, &cols)?);
+                            }
+                            Ok(())
+                        })?;
+                        let reg = obs::global();
+                        reg.counter("minidb.semijoin.count").incr();
+                        reg.counter("minidb.semijoin.keyed").incr();
+                        path.push(0);
+                        path.push(0);
+                        record_keyed(prof, scan_start, path, scanned);
+                        path.pop();
+                        record_keyed(prof, start, path, keys.len());
+                        path.pop();
+                        record_keyed(prof, start, path, keys.len());
+                        Ok(KeyedRows { arity: cols.len(), keys })
+                    }
+                    other => {
+                        path.push(0);
+                        let k = self.eval_keys(other, prof, path, ctx)?;
+                        path.pop();
+                        let keys = k.keys.iter().map(|&key| key_proj(key, &cols)).collect();
+                        let out = KeyedRows { arity: cols.len(), keys };
+                        record_keyed(prof, start, path, out.keys.len());
+                        Ok(out)
+                    }
+                }
+            }
+            other => Err(DbError::Plan(format!(
+                "keyed fast path reached non-keyable operator {other:?}"
+            ))),
+        }
     }
 
     /// Delete rows matching `pred` from a table; returns the count.
@@ -555,6 +947,92 @@ mod tests {
             })
             .unwrap();
         assert_eq!(rs.rows.len(), 2);
+    }
+
+    fn keyed_tables() -> Database {
+        let db = Database::new();
+        db.create_table(
+            "p",
+            TableSchema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("b", DataType::Int),
+            ]),
+        )
+        .unwrap();
+        db.create_table(
+            "q",
+            TableSchema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("b", DataType::Int),
+            ]),
+        )
+        .unwrap();
+        db.insert("p", (0..20i64).map(|i| vec![(i % 7).into(), i.into()])).unwrap();
+        db.insert("q", (0..10i64).map(|i| vec![(i % 5).into(), 0.into()])).unwrap();
+        db
+    }
+
+    #[test]
+    fn keyed_semi_join_agrees_with_generic_and_parallel() {
+        let db = keyed_tables();
+        let probe = Plan::Scan { table: "p".into(), filter: None }
+            .project(vec![(Expr::col(0), "a".into()), (Expr::col(1), "b".into())]);
+        let build = Plan::Scan { table: "q".into(), filter: None }
+            .project(vec![(Expr::col(0), "a".into())]);
+        let keyed = Plan::Distinct {
+            input: Box::new(probe.clone().semi_join(build.clone(), vec![0], vec![0])),
+        };
+        // A Filter above the probe breaks the keyable shape, forcing
+        // the generic materializing semi-join over the same data.
+        let all_pass =
+            Expr::Cmp(crate::expr::CmpOp::Ge, Box::new(Expr::col(1)), Box::new(Expr::lit(0)));
+        let generic = Plan::Distinct {
+            input: Box::new(probe.clone().filter(all_pass).semi_join(
+                build.clone(),
+                vec![0],
+                vec![0],
+            )),
+        };
+        let fast = db.execute(&keyed).unwrap();
+        let slow = db.execute(&generic).unwrap();
+        let par = db.execute_parallel(&keyed).unwrap();
+        assert!(!fast.rows.is_empty());
+        assert_eq!(fast.rows, slow.rows);
+        assert_eq!(fast.rows, par.rows);
+        // Anti variant: keyed and generic agree, and together they
+        // partition the distinct probe rows.
+        let keyed_anti = Plan::Distinct {
+            input: Box::new(probe.clone().anti_join(build.clone(), vec![0], vec![0])),
+        };
+        let anti = db.execute(&keyed_anti).unwrap();
+        let distinct_probe = db.execute(&Plan::Distinct { input: Box::new(probe) }).unwrap();
+        assert_eq!(anti.rows.len() + fast.rows.len(), distinct_probe.rows.len());
+    }
+
+    #[test]
+    fn keyed_fast_path_annotates_profile() {
+        let db = keyed_tables();
+        let plan = Plan::Distinct {
+            input: Box::new(
+                Plan::Scan { table: "p".into(), filter: None }
+                    .project(vec![(Expr::col(0), "a".into())])
+                    .semi_join(
+                        Plan::Scan { table: "q".into(), filter: None }
+                            .project(vec![(Expr::col(0), "a".into())]),
+                        vec![0],
+                        vec![0],
+                    ),
+            ),
+        };
+        let (rs, profile) = db.execute_profiled(&plan).unwrap();
+        let root = profile.root().unwrap();
+        assert!(root.keyed);
+        assert_eq!(root.rows_out, rs.rows.len() as u64);
+        // Every operator of the keyed subtree is annotated: Distinct,
+        // semi-join, both projects, both scans.
+        assert_eq!(profile.len(), 6);
+        assert!(profile.get(&[0]).unwrap().keyed);
+        assert!(profile.get(&[0, 1]).unwrap().keyed);
     }
 
     #[test]

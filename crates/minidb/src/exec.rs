@@ -219,6 +219,23 @@ pub enum Plan {
         /// `(column, descending)` sort keys.
         keys: Vec<(usize, bool)>,
     },
+    /// Set-oriented equi-join: emit probe rows whose key appears (or,
+    /// for `anti`, does not appear) in the build side's key set. No row
+    /// concatenation — output columns are exactly the probe's. NULL
+    /// keys never match (so under `anti` they are always emitted,
+    /// `NOT EXISTS` semantics).
+    HashSemiJoin {
+        /// Probe input (rows pass through).
+        probe: Box<Plan>,
+        /// Build input (reduced to a key set).
+        build: Box<Plan>,
+        /// Key columns on the probe side.
+        probe_keys: Vec<usize>,
+        /// Key columns on the build side.
+        build_keys: Vec<usize>,
+        /// Emit non-matching probe rows instead of matching ones.
+        anti: bool,
+    },
     /// Remove duplicate rows.
     Distinct {
         /// Input plan.
@@ -258,6 +275,28 @@ impl Plan {
     /// Convenience: grouped aggregation.
     pub fn aggregate(self, group_by: Vec<usize>, aggs: Vec<AggCall>) -> Plan {
         Plan::Aggregate { input: Box::new(self), group_by, aggs }
+    }
+
+    /// Convenience: semi-join (`self` probes `build`'s key set).
+    pub fn semi_join(self, build: Plan, probe_keys: Vec<usize>, build_keys: Vec<usize>) -> Plan {
+        Plan::HashSemiJoin {
+            probe: Box::new(self),
+            build: Box::new(build),
+            probe_keys,
+            build_keys,
+            anti: false,
+        }
+    }
+
+    /// Convenience: anti-join (`NOT EXISTS` over `build`'s key set).
+    pub fn anti_join(self, build: Plan, probe_keys: Vec<usize>, build_keys: Vec<usize>) -> Plan {
+        Plan::HashSemiJoin {
+            probe: Box::new(self),
+            build: Box::new(build),
+            probe_keys,
+            build_keys,
+            anti: true,
+        }
     }
 }
 
@@ -414,6 +453,37 @@ pub(crate) fn run_aggregate(
     Ok(ResultSet { columns, rows })
 }
 
+/// Execute a semi- or anti-join over materialized inputs (the generic
+/// fallback for probe/build shapes the integer-key fast path cannot
+/// handle). Probe rows pass through unchanged; NULL keys never match.
+pub(crate) fn run_semi_join(
+    probe: ResultSet,
+    build: &ResultSet,
+    probe_keys: &[usize],
+    build_keys: &[usize],
+    anti: bool,
+) -> Result<ResultSet> {
+    if probe_keys.len() != build_keys.len() {
+        return Err(DbError::Plan("semi-join key arity mismatch".into()));
+    }
+    let mut set: std::collections::HashSet<Vec<Value>> =
+        std::collections::HashSet::with_capacity(build.rows.len());
+    for row in &build.rows {
+        let key: Vec<Value> = build_keys.iter().map(|&i| row[i].clone()).collect();
+        if key.iter().any(|v| v.is_null()) {
+            continue;
+        }
+        set.insert(key);
+    }
+    let mut rows = probe.rows;
+    rows.retain(|r| {
+        let matched = !probe_keys.iter().any(|&i| r[i].is_null())
+            && set.contains(&probe_keys.iter().map(|&i| r[i].clone()).collect::<Vec<Value>>());
+        matched != anti
+    });
+    Ok(ResultSet { columns: probe.columns, rows })
+}
+
 /// Execute a hash join over materialized inputs.
 pub(crate) fn run_hash_join(
     left: ResultSet,
@@ -489,6 +559,37 @@ mod tests {
         let left = run_hash_join(l, r, &[0], &[0], JoinKind::Left).unwrap();
         assert_eq!(left.rows.len(), 4); // 2 matches + 2 unmatched (id=2, NULL)
         assert!(left.rows.iter().any(|r| r[0] == Value::Int(2) && r[3].is_null()));
+    }
+
+    #[test]
+    fn semi_join_filters_without_concatenating() {
+        let probe = rs(
+            &["id", "v"],
+            vec![
+                vec![1.into(), "a".into()],
+                vec![2.into(), "b".into()],
+                vec![Value::Null, "n".into()],
+            ],
+        );
+        let build = rs(&["id"], vec![vec![1.into()], vec![1.into()], vec![3.into()]]);
+        let semi = run_semi_join(probe.clone(), &build, &[0], &[0], false).unwrap();
+        assert_eq!(semi.columns, vec!["id", "v"]);
+        // One output row per probe row (no fan-out on duplicate build keys);
+        // the NULL key never matches.
+        assert_eq!(semi.rows, vec![vec![Value::Int(1), "a".into()]]);
+        let anti = run_semi_join(probe, &build, &[0], &[0], true).unwrap();
+        // NOT EXISTS: the NULL-keyed row has no match, so it survives.
+        assert_eq!(anti.rows.len(), 2);
+        assert_eq!(anti.rows[0][0], Value::Int(2));
+        assert!(anti.rows[1][0].is_null());
+    }
+
+    #[test]
+    fn semi_join_null_in_build_key_never_matches() {
+        let probe = rs(&["k"], vec![vec![Value::Null]]);
+        let build = rs(&["k"], vec![vec![Value::Null]]);
+        let semi = run_semi_join(probe, &build, &[0], &[0], false).unwrap();
+        assert!(semi.rows.is_empty());
     }
 
     #[test]

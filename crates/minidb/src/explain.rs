@@ -61,6 +61,10 @@ fn node_label(plan: &Plan) -> String {
         Plan::HashJoin { left_keys, right_keys, kind, .. } => {
             format!("HashJoin {kind:?} on {left_keys:?}={right_keys:?}")
         }
+        Plan::HashSemiJoin { probe_keys, build_keys, anti, .. } => {
+            let op = if *anti { "HashAntiJoin" } else { "HashSemiJoin" };
+            format!("{op} on {probe_keys:?}={build_keys:?}")
+        }
         Plan::NestedLoopJoin { pred, kind, .. } => {
             let p = pred.as_ref().map(expr_str).unwrap_or_else(|| "true".into());
             format!("NestedLoopJoin {kind:?} on {p}")
@@ -104,6 +108,7 @@ fn node_children(plan: &Plan) -> Vec<&Plan> {
         Plan::HashJoin { left, right, .. } | Plan::NestedLoopJoin { left, right, .. } => {
             vec![left, right]
         }
+        Plan::HashSemiJoin { probe, build, .. } => vec![probe, build],
     }
 }
 
@@ -118,11 +123,14 @@ fn walk(
     out.push_str(&node_label(plan));
     if let Some(profile) = prof {
         match profile.get(path) {
-            Some(stats) => out.push_str(&format!(
-                " (rows={} time={})",
-                stats.rows_out,
-                format_nanos(stats.nanos)
-            )),
+            Some(stats) => {
+                let keyed = if stats.keyed { " keyed" } else { "" };
+                out.push_str(&format!(
+                    " (rows={} time={}{keyed})",
+                    stats.rows_out,
+                    format_nanos(stats.nanos)
+                ));
+            }
             None => out.push_str(" (not executed)"),
         }
     }

@@ -1,0 +1,146 @@
+//! Compact integer key sets backing the semi-join fast path.
+//!
+//! The catalog's match pipeline reduces every intermediate result to
+//! `(object_id, seq)` pairs — both columns are `INT NOT NULL` in the
+//! shredded schema — so scans feeding semi-joins can project straight
+//! into `(i64, i64)` keys instead of cloning whole [`Row`]s (strings
+//! included) between operators. [`KeyedRows`] is that keyed
+//! materialization; [`KeySet`] is the membership structure a semi-join
+//! builds from its build side.
+//!
+//! [`Row`]: crate::table::Row
+
+use crate::value::Value;
+use std::collections::HashSet;
+
+/// Build-side key counts up to this size use a sorted vector with
+/// binary-search membership (better cache behavior, no hashing); larger
+/// sets switch to a hash set.
+const SORTED_MODE_MAX: usize = 4096;
+
+/// One- or two-column integer keys; the second component is `0` when
+/// `arity == 1`.
+pub type Key = (i64, i64);
+
+/// Rows reduced to integer keys, preserving input order and
+/// multiplicity (deduplication is an explicit operation, matching the
+/// `Distinct` operator).
+#[derive(Debug, Clone, Default)]
+pub struct KeyedRows {
+    /// Number of key columns represented (1 or 2).
+    pub arity: usize,
+    /// The keys, in producer order.
+    pub keys: Vec<Key>,
+}
+
+impl KeyedRows {
+    /// Remove duplicates, keeping each key's first occurrence (the same
+    /// order `Distinct` produces over materialized rows).
+    pub fn dedup_first_occurrence(mut self) -> KeyedRows {
+        let mut seen = HashSet::with_capacity(self.keys.len());
+        self.keys.retain(|k| seen.insert(*k));
+        self
+    }
+
+    /// Materialize back into rows under the given column names.
+    pub fn into_rows(self) -> Vec<Vec<Value>> {
+        let arity = self.arity;
+        self.keys
+            .into_iter()
+            .map(
+                |(a, b)| {
+                    if arity == 1 {
+                        vec![Value::Int(a)]
+                    } else {
+                        vec![Value::Int(a), Value::Int(b)]
+                    }
+                },
+            )
+            .collect()
+    }
+}
+
+/// A set of integer keys with two internal modes: small sets stay a
+/// sorted, deduplicated vector probed by binary search; large sets hash.
+#[derive(Debug, Clone)]
+pub enum KeySet {
+    /// Sorted + deduplicated vector; membership via binary search.
+    Sorted(Vec<Key>),
+    /// Hash set for large build sides.
+    Hashed(HashSet<Key>),
+}
+
+impl KeySet {
+    /// Build a set from raw (possibly duplicated) keys.
+    pub fn build(mut keys: Vec<Key>) -> KeySet {
+        if keys.len() <= SORTED_MODE_MAX {
+            keys.sort_unstable();
+            keys.dedup();
+            KeySet::Sorted(keys)
+        } else {
+            KeySet::Hashed(keys.into_iter().collect())
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, key: Key) -> bool {
+        match self {
+            KeySet::Sorted(v) => v.binary_search(&key).is_ok(),
+            KeySet::Hashed(s) => s.contains(&key),
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        match self {
+            KeySet::Sorted(v) => v.len(),
+            KeySet::Hashed(s) => s.len(),
+        }
+    }
+
+    /// True when the set holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_mode_membership() {
+        let set = KeySet::build(vec![(3, 0), (1, 0), (2, 0), (1, 0)]);
+        assert!(matches!(set, KeySet::Sorted(_)));
+        assert_eq!(set.len(), 3);
+        assert!(set.contains((1, 0)));
+        assert!(set.contains((3, 0)));
+        assert!(!set.contains((4, 0)));
+        assert!(!set.contains((1, 1)));
+    }
+
+    #[test]
+    fn hashed_mode_kicks_in_for_large_sets() {
+        let keys: Vec<Key> = (0..(SORTED_MODE_MAX as i64 + 10)).map(|i| (i, i * 2)).collect();
+        let set = KeySet::build(keys);
+        assert!(matches!(set, KeySet::Hashed(_)));
+        assert!(set.contains((7, 14)));
+        assert!(!set.contains((7, 15)));
+    }
+
+    #[test]
+    fn dedup_preserves_first_occurrence_order() {
+        let k = KeyedRows { arity: 2, keys: vec![(5, 1), (2, 2), (5, 1), (9, 0), (2, 2)] };
+        let d = k.dedup_first_occurrence();
+        assert_eq!(d.keys, vec![(5, 1), (2, 2), (9, 0)]);
+    }
+
+    #[test]
+    fn into_rows_respects_arity() {
+        let one = KeyedRows { arity: 1, keys: vec![(4, 0)] }.into_rows();
+        assert_eq!(one, vec![vec![Value::Int(4)]]);
+        let two = KeyedRows { arity: 2, keys: vec![(4, 7)] }.into_rows();
+        assert_eq!(two, vec![vec![Value::Int(4), Value::Int(7)]]);
+    }
+}

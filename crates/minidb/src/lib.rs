@@ -34,6 +34,7 @@ pub mod error;
 pub mod exec;
 pub mod explain;
 pub mod expr;
+pub mod keyset;
 pub mod profile;
 pub mod snapshot;
 pub mod sql;
@@ -48,6 +49,7 @@ pub mod prelude {
     pub use crate::exec::{AggCall, AggFunc, JoinKind, Plan, ResultSet};
     pub use crate::explain::{explain, explain_analyze};
     pub use crate::expr::{ArithOp, CmpOp, Expr};
+    pub use crate::keyset::{Key, KeySet, KeyedRows};
     pub use crate::profile::{NodeStats, PlanProfile};
     pub use crate::table::{Column, Row, RowId, Table, TableSchema};
     pub use crate::value::{DataType, Value};

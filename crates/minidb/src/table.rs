@@ -116,6 +116,17 @@ impl Index {
     /// `None` for an open end). Keys compare lexicographically with the
     /// engine's total value order.
     pub fn range(&self, lo: Option<&[Value]>, hi: Option<&[Value]>) -> Vec<RowId> {
+        self.range_ids(lo, hi).collect()
+    }
+
+    /// Iterator form of [`Index::range`]: yields the same row ids
+    /// without materializing an intermediate vector, so executors can
+    /// stream straight from the B-tree.
+    pub fn range_ids(
+        &self,
+        lo: Option<&[Value]>,
+        hi: Option<&[Value]>,
+    ) -> impl Iterator<Item = RowId> + '_ {
         use std::ops::Bound::*;
         let lo_b = match lo {
             Some(k) => Included(k.to_vec()),
@@ -125,24 +136,23 @@ impl Index {
             Some(k) => Included(k.to_vec()),
             None => Unbounded,
         };
-        let mut out = Vec::new();
-        for (_, ids) in self.map.range((lo_b, hi_b)) {
-            out.extend_from_slice(ids);
-        }
-        out
+        self.map.range((lo_b, hi_b)).flat_map(|(_, ids)| ids.iter().copied())
     }
 
     /// Row ids whose key begins with `prefix` (useful for composite
     /// indexes queried on a leading subset of columns).
     pub fn prefix(&self, prefix: &[Value]) -> Vec<RowId> {
-        let mut out = Vec::new();
-        for (k, ids) in self.map.range(prefix.to_vec()..) {
-            if k.len() < prefix.len() || k[..prefix.len()] != *prefix {
-                break;
-            }
-            out.extend_from_slice(ids);
-        }
-        out
+        self.prefix_ids(prefix).collect()
+    }
+
+    /// Iterator form of [`Index::prefix`]: yields the same row ids
+    /// without materializing an intermediate vector.
+    pub fn prefix_ids(&self, prefix: &[Value]) -> impl Iterator<Item = RowId> + '_ {
+        let prefix: Vec<Value> = prefix.to_vec();
+        self.map
+            .range(prefix.clone()..)
+            .take_while(move |(k, _)| k.len() >= prefix.len() && k[..prefix.len()] == *prefix)
+            .flat_map(|(_, ids)| ids.iter().copied())
     }
 
     /// Number of distinct keys.
@@ -434,6 +444,9 @@ mod tests {
         assert_eq!(idx.get(&[99.into()]).len(), 0);
         let r = idx.range(Some(&[30.into()]), Some(&[40.into()]));
         assert_eq!(r.len(), 2);
+        // The iterator variant yields the same ids in the same order.
+        let streamed: Vec<_> = idx.range_ids(Some(&[30.into()]), Some(&[40.into()])).collect();
+        assert_eq!(streamed, r);
     }
 
     #[test]
@@ -477,6 +490,7 @@ mod tests {
         t.create_index("ab", vec![0, 1], false).unwrap();
         let idx = t.index("ab").unwrap();
         assert_eq!(idx.prefix(&[1.into()]).len(), 4);
+        assert_eq!(idx.prefix_ids(&[1.into()]).count(), 4);
         assert_eq!(idx.get(&[1.into(), 2.into()]).len(), 1);
         assert!(t.index_covering(&[0]).is_some());
         assert!(t.index_covering(&[1]).is_none());
