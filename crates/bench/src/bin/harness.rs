@@ -21,7 +21,7 @@ fn main() {
     let scale = if quick { Scale::Quick } else { Scale::Full };
     let mut wanted: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
-        wanted = ["figs", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "perf"]
+        wanted = ["figs", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "perf"]
             .iter()
             .map(|s| s.to_string())
             .collect();
@@ -96,6 +96,13 @@ fn main() {
                     Err(e) => eprintln!("e8 failed: {e}"),
                 }
             }
+            "e9" => {
+                println!("== E9: durability cost (WAL fsync policies vs in-memory) ==");
+                match experiments::e9_durability(scale) {
+                    Ok(t) => println!("{}", t.render()),
+                    Err(e) => eprintln!("e9 failed: {e}"),
+                }
+            }
             "perf" => {
                 println!("== Perf: match path, materialized hash joins vs semi-join pipelines ==");
                 match experiments::perf(scale) {
@@ -106,7 +113,7 @@ fn main() {
                     Err(e) => eprintln!("perf failed: {e}"),
                 }
             }
-            other => eprintln!("unknown experiment: {other} (use e1..e8, figs, perf, all)"),
+            other => eprintln!("unknown experiment: {other} (use e1..e9, figs, perf, all)"),
         }
         eprintln!("[{w} took {:.1}s]\n", t0.elapsed().as_secs_f64());
     }

@@ -509,6 +509,86 @@ pub fn perf(scale: Scale) -> Result<(Table, Vec<PerfEntry>)> {
     Ok((t, entries))
 }
 
+/// E9 — durability cost: ingest throughput in-memory vs through the
+/// write-ahead log with fsync-per-commit vs group commit, plus the
+/// checkpoint (log → snapshot compaction) latency at each setting.
+///
+/// Claims: fsync-per-commit makes every acked ingest crash-safe but
+/// pays one fsync per document; group commit amortizes the fsync over
+/// a batch at the cost of losing acked-but-unsynced tail commits in a
+/// crash (recovery still yields a committed prefix — see the
+/// fault-injection suites in `minidb/tests/wal_crash.rs` and
+/// `catalog/tests/durability_props.rs`).
+pub fn e9_durability(scale: Scale) -> Result<Table> {
+    use catalog::catalog::MetadataCatalog;
+    use minidb::{StdVfs, SyncPolicy, WalOptions};
+
+    let n = scale.pick(80, 400);
+    let generator = generator(default());
+    let corpus = generator.corpus(n);
+    let mut t =
+        Table::new(&["mode", "docs", "ingest time", "docs/s", "fsyncs", "wal bytes", "checkpoint"]);
+
+    // In-memory baseline: same catalog, no durability layer.
+    {
+        let cat = generator.catalog(CatalogConfig::default())?;
+        let t0 = std::time::Instant::now();
+        for d in &corpus {
+            cat.ingest(d)?;
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        t.row(vec![
+            "in-memory".into(),
+            n.to_string(),
+            fmt_secs(secs),
+            fmt_rate(n as f64 / secs),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+
+    let modes = [
+        ("wal fsync/commit", SyncPolicy::EveryCommit),
+        ("wal group(8)", SyncPolicy::Batched(8)),
+        ("wal group(32)", SyncPolicy::Batched(32)),
+    ];
+    for (i, (name, sync)) in modes.into_iter().enumerate() {
+        let dir = std::env::temp_dir().join(format!("mylead-e9-{i}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cat = MetadataCatalog::open_with(
+            std::sync::Arc::new(StdVfs::new(&dir)?),
+            WalOptions { sync },
+            catalog::lead::lead_partition(),
+            CatalogConfig::default(),
+        )?;
+        generator.register_defs(&cat)?;
+        let reg = obs::global();
+        let fsyncs0 = reg.counter("wal.fsyncs").get();
+        let bytes0 = reg.counter("wal.bytes").get();
+        let t0 = std::time::Instant::now();
+        for d in &corpus {
+            cat.ingest(d)?;
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
+        cat.checkpoint()?;
+        let ck = t1.elapsed().as_secs_f64();
+        t.row(vec![
+            name.to_string(),
+            n.to_string(),
+            fmt_secs(secs),
+            fmt_rate(n as f64 / secs),
+            (reg.counter("wal.fsyncs").get() - fsyncs0).to_string(),
+            fmt_bytes((reg.counter("wal.bytes").get() - bytes0) as usize),
+            fmt_secs(ck),
+        ]);
+        drop(cat);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    Ok(t)
+}
+
 /// Render perf entries as the `BENCH_perf.json` document (hand-rolled —
 /// the workspace has no JSON dependency). Consumed by the `perfcheck`
 /// CI gate; keep the field set in sync with its parser.

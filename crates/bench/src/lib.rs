@@ -1,4 +1,4 @@
-//! # benchkit — the deferred evaluation (E1–E8)
+//! # benchkit — the deferred evaluation (E1–E9)
 //!
 //! The paper contains no quantitative evaluation ("Future work will
 //! focus on quantifying the benefit of the hybrid approach", §7). This

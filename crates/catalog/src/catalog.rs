@@ -126,7 +126,16 @@ pub struct MetadataCatalog {
 impl MetadataCatalog {
     /// Create a catalog over a partitioned schema.
     pub fn new(partition: Partition, config: CatalogConfig) -> Result<MetadataCatalog> {
-        let db = Database::new();
+        Self::bootstrap(Database::new(), partition, config)
+    }
+
+    /// Build a catalog into an empty database (freshly created, or a
+    /// durable database whose directory held no prior state).
+    pub(crate) fn bootstrap(
+        db: Database,
+        partition: Partition,
+        config: CatalogConfig,
+    ) -> Result<MetadataCatalog> {
         store::create_tables(&db)?;
         let ordering = GlobalOrdering::new(&partition);
         store::load_ordering(&db, &ordering)?;
@@ -252,7 +261,9 @@ impl MetadataCatalog {
         Ok(out)
     }
 
-    /// Store a shredded document under a fresh object id.
+    /// Store a shredded document under a fresh object id. One
+    /// transaction: on a durable catalog a crash either keeps the whole
+    /// document (object row, instance rows, CLOBs) or none of it.
     pub fn apply(
         &self,
         shredded: &ShreddedDoc,
@@ -260,7 +271,8 @@ impl MetadataCatalog {
         name: Option<&str>,
     ) -> Result<i64> {
         let object_id = self.next_object.fetch_add(1, AtomicOrdering::Relaxed);
-        self.db.insert(
+        let mut txn = self.db.txn();
+        txn.insert(
             "objects",
             vec![vec![
                 Value::Int(object_id),
@@ -268,12 +280,14 @@ impl MetadataCatalog {
                 name.map(|s| Value::Str(s.into())).unwrap_or(Value::Null),
             ]],
         )?;
-        self.apply_rows(object_id, shredded)?;
+        Self::apply_rows(&mut txn, object_id, shredded)?;
+        txn.commit()?;
         Ok(object_id)
     }
 
-    /// Insert a shredded batch's rows under an existing object id.
-    fn apply_rows(&self, object_id: i64, shredded: &ShreddedDoc) -> Result<()> {
+    /// Insert a shredded batch's rows under an existing object id, into
+    /// an open transaction.
+    fn apply_rows(txn: &mut minidb::Txn<'_>, object_id: i64, shredded: &ShreddedDoc) -> Result<()> {
         let reg = obs::global();
         let _span = reg.span("catalog.apply");
         reg.counter("catalog.shred.attr_rows").add(shredded.attrs.len() as u64);
@@ -284,7 +298,7 @@ impl MetadataCatalog {
             .clobs
             .iter()
             .map(|c| {
-                let locator = self.db.clobs.put(c.xml.clone().into_bytes());
+                let locator = txn.put_clob(c.xml.clone().into_bytes());
                 vec![
                     Value::Int(object_id),
                     Value::Int(c.attr_id),
@@ -294,44 +308,56 @@ impl MetadataCatalog {
                 ]
             })
             .collect();
-        self.db.insert("clobs", clob_rows)?;
-        self.db.insert(
+        txn.insert("clobs", clob_rows)?;
+        txn.insert(
             "attrs",
-            shredded.attrs.iter().map(|a| {
-                vec![
-                    Value::Int(object_id),
-                    Value::Int(a.attr_id),
-                    Value::Int(a.seq),
-                    a.clob_seq.map(Value::Int).unwrap_or(Value::Null),
-                ]
-            }),
+            shredded
+                .attrs
+                .iter()
+                .map(|a| {
+                    vec![
+                        Value::Int(object_id),
+                        Value::Int(a.attr_id),
+                        Value::Int(a.seq),
+                        a.clob_seq.map(Value::Int).unwrap_or(Value::Null),
+                    ]
+                })
+                .collect(),
         )?;
-        self.db.insert(
+        txn.insert(
             "elems",
-            shredded.elems.iter().map(|e| {
-                vec![
-                    Value::Int(object_id),
-                    Value::Int(e.attr_id),
-                    Value::Int(e.attr_seq),
-                    Value::Int(e.elem_id),
-                    Value::Int(e.elem_seq),
-                    Value::Str(e.value.clone()),
-                    e.num.map(Value::Float).unwrap_or(Value::Null),
-                ]
-            }),
+            shredded
+                .elems
+                .iter()
+                .map(|e| {
+                    vec![
+                        Value::Int(object_id),
+                        Value::Int(e.attr_id),
+                        Value::Int(e.attr_seq),
+                        Value::Int(e.elem_id),
+                        Value::Int(e.elem_seq),
+                        Value::Str(e.value.clone()),
+                        e.num.map(Value::Float).unwrap_or(Value::Null),
+                    ]
+                })
+                .collect(),
         )?;
-        self.db.insert(
+        txn.insert(
             "attr_anc",
-            shredded.ancestors.iter().map(|a| {
-                vec![
-                    Value::Int(object_id),
-                    Value::Int(a.attr_id),
-                    Value::Int(a.seq),
-                    Value::Int(a.anc_attr_id),
-                    Value::Int(a.anc_seq),
-                    Value::Int(a.distance),
-                ]
-            }),
+            shredded
+                .ancestors
+                .iter()
+                .map(|a| {
+                    vec![
+                        Value::Int(object_id),
+                        Value::Int(a.attr_id),
+                        Value::Int(a.seq),
+                        Value::Int(a.anc_attr_id),
+                        Value::Int(a.anc_seq),
+                        Value::Int(a.distance),
+                    ]
+                })
+                .collect(),
         )?;
         Ok(())
     }
@@ -407,7 +433,10 @@ impl MetadataCatalog {
         );
         let shredded = shredder.shred_fragment(&doc, &defs, snode, seq_seed, clob_seed)?;
         drop(defs);
-        self.apply_rows(object_id, &shredded)
+        let mut txn = self.db.txn();
+        Self::apply_rows(&mut txn, object_id, &shredded)?;
+        txn.commit()?;
+        Ok(())
     }
 
     /// Ingest one document: parse, shred, validate, store.
@@ -563,10 +592,26 @@ impl MetadataCatalog {
         if !exists {
             return Err(CatalogError::NoSuchObject(object_id));
         }
+        let mut txn = self.db.txn();
         for table in ["objects", "attrs", "elems", "attr_anc", "clobs"] {
-            self.db.delete_where(table, &Expr::col_eq(0, object_id))?;
+            txn.delete_where(table, &Expr::col_eq(0, object_id))?;
         }
+        txn.commit()?;
         Ok(())
+    }
+
+    /// Whether this catalog writes through a WAL (see
+    /// [`MetadataCatalog::open`]).
+    pub fn is_durable(&self) -> bool {
+        self.db.is_durable()
+    }
+
+    /// Checkpoint a durable catalog: snapshot the whole store and
+    /// truncate the WAL. Returns the checkpointed LSN. No-op error-free
+    /// path does not exist for in-memory catalogs — those return the
+    /// underlying engine error.
+    pub fn checkpoint(&self) -> Result<u64> {
+        self.db.checkpoint().map_err(Into::into)
     }
 
     /// Aggregate statistics.

@@ -33,103 +33,147 @@ impl MetadataCatalog {
         config: CatalogConfig,
     ) -> Result<MetadataCatalog> {
         let db = Database::load_from(path)?;
-        let ordering = GlobalOrdering::new(&partition);
-        let mut defs = DefsRegistry::from_partition(&partition, &ordering);
-        let structural_attrs = defs.attrs().len() as i64;
-        let structural_elems = defs.elems().len() as i64;
+        rebuild(db, partition, config)
+    }
 
-        // Cross-check structural mirror rows, then replay dynamic ones.
-        let attr_rows = db.execute(&Plan::Sort {
-            input: Box::new(Plan::Scan { table: "attr_defs".into(), filter: None }),
-            keys: vec![(0, false)],
-        })?;
-        for row in &attr_rows.rows {
-            let id = row[0].as_i64().ok_or_else(|| bad("attr_defs.attr_id"))?;
-            let name = row[1].as_str().ok_or_else(|| bad("attr_defs.name"))?;
-            let dynamic = matches!(row[5], minidb::Value::Bool(true));
-            if id <= structural_attrs {
-                let known = defs.attr(id).ok_or_else(|| {
-                    CatalogError::Definition(format!("snapshot attribute #{id} unknown"))
-                })?;
-                if known.name != name || known.dynamic != dynamic {
-                    return Err(CatalogError::Definition(format!(
-                        "snapshot attribute #{id} ({name}) does not match the supplied schema \
-                         partition (expected {})",
-                        known.name
-                    )));
-                }
-                continue;
-            }
-            if !dynamic {
+    /// Open a crash-safe catalog backed by `dir`: every ingest,
+    /// deletion, and definition registration commits through a
+    /// write-ahead log before it is acknowledged, and
+    /// [`MetadataCatalog::checkpoint`] compacts the log into a
+    /// snapshot. Reopening the same directory recovers the snapshot
+    /// plus the committed WAL tail (a torn final record from a crash
+    /// is discarded; mid-log corruption is a hard error).
+    pub fn open(
+        dir: impl AsRef<Path>,
+        partition: Partition,
+        config: CatalogConfig,
+    ) -> Result<MetadataCatalog> {
+        Self::open_with(
+            std::sync::Arc::new(minidb::StdVfs::new(dir.as_ref())?),
+            minidb::WalOptions::default(),
+            partition,
+            config,
+        )
+    }
+
+    /// [`MetadataCatalog::open`] over an explicit VFS and WAL options —
+    /// the injection point for group-commit policies and fault-testing
+    /// file systems.
+    pub fn open_with(
+        vfs: std::sync::Arc<dyn minidb::Vfs>,
+        opts: minidb::WalOptions,
+        partition: Partition,
+        config: CatalogConfig,
+    ) -> Result<MetadataCatalog> {
+        let db = Database::open_with(vfs, opts)?;
+        if db.has_table("objects") {
+            rebuild(db, partition, config)
+        } else {
+            MetadataCatalog::bootstrap(db, partition, config)
+        }
+    }
+}
+
+/// Reassemble a catalog around a recovered database: cross-check the
+/// structural definition mirror against the supplied partition, replay
+/// dynamic definitions, and continue the object-id sequence.
+fn rebuild(db: Database, partition: Partition, config: CatalogConfig) -> Result<MetadataCatalog> {
+    let ordering = GlobalOrdering::new(&partition);
+    let mut defs = DefsRegistry::from_partition(&partition, &ordering);
+    let structural_attrs = defs.attrs().len() as i64;
+    let structural_elems = defs.elems().len() as i64;
+
+    // Cross-check structural mirror rows, then replay dynamic ones.
+    let attr_rows = db.execute(&Plan::Sort {
+        input: Box::new(Plan::Scan { table: "attr_defs".into(), filter: None }),
+        keys: vec![(0, false)],
+    })?;
+    for row in &attr_rows.rows {
+        let id = row[0].as_i64().ok_or_else(|| bad("attr_defs.attr_id"))?;
+        let name = row[1].as_str().ok_or_else(|| bad("attr_defs.name"))?;
+        let dynamic = matches!(row[5], minidb::Value::Bool(true));
+        if id <= structural_attrs {
+            let known = defs.attr(id).ok_or_else(|| {
+                CatalogError::Definition(format!("snapshot attribute #{id} unknown"))
+            })?;
+            if known.name != name || known.dynamic != dynamic {
                 return Err(CatalogError::Definition(format!(
-                    "snapshot attribute #{id} ({name}) is non-structural yet not dynamic"
+                    "snapshot attribute #{id} ({name}) does not match the supplied schema \
+                     partition (expected {})",
+                    known.name
                 )));
             }
-            let source = row[2].as_str().ok_or_else(|| bad("attr_defs.source"))?;
-            let parent = row[3].as_i64();
-            let schema_order = row[4].as_i64().map(|o| o as OrderId);
-            let level = match row[7].as_str() {
-                Some("admin") | None => DefLevel::Admin,
-                Some(other) => match other.strip_prefix("user:") {
-                    Some(u) => DefLevel::User(u.to_string()),
-                    None => DefLevel::Admin,
-                },
-            };
-            // Anchor: top-level defs sit at their schema_order's node;
-            // sub-attributes share their parent's anchor.
-            let anchor = match (parent, schema_order) {
-                (Some(p), _) => {
-                    defs.attr(p)
-                        .ok_or_else(|| {
-                            CatalogError::Definition(format!(
-                                "snapshot attribute #{id} references missing parent #{p}"
-                            ))
-                        })?
-                        .anchor
-                }
-                (None, Some(order)) => ordering.node(order).node,
-                (None, None) => {
-                    return Err(CatalogError::Definition(format!(
-                        "snapshot attribute #{id} has neither parent nor schema order"
-                    )));
-                }
-            };
-            defs.replay_dynamic_attr(id, name, source, parent, anchor, schema_order, level)?;
+            continue;
         }
-
-        let elem_rows = db.execute(&Plan::Sort {
-            input: Box::new(Plan::Scan { table: "elem_defs".into(), filter: None }),
-            keys: vec![(0, false)],
-        })?;
-        for row in &elem_rows.rows {
-            let id = row[0].as_i64().ok_or_else(|| bad("elem_defs.elem_id"))?;
-            if id <= structural_elems {
-                continue; // re-derived from the partition
+        if !dynamic {
+            return Err(CatalogError::Definition(format!(
+                "snapshot attribute #{id} ({name}) is non-structural yet not dynamic"
+            )));
+        }
+        let source = row[2].as_str().ok_or_else(|| bad("attr_defs.source"))?;
+        let parent = row[3].as_i64();
+        let schema_order = row[4].as_i64().map(|o| o as OrderId);
+        let level = match row[7].as_str() {
+            Some("admin") | None => DefLevel::Admin,
+            Some(other) => match other.strip_prefix("user:") {
+                Some(u) => DefLevel::User(u.to_string()),
+                None => DefLevel::Admin,
+            },
+        };
+        // Anchor: top-level defs sit at their schema_order's node;
+        // sub-attributes share their parent's anchor.
+        let anchor = match (parent, schema_order) {
+            (Some(p), _) => {
+                defs.attr(p)
+                    .ok_or_else(|| {
+                        CatalogError::Definition(format!(
+                            "snapshot attribute #{id} references missing parent #{p}"
+                        ))
+                    })?
+                    .anchor
             }
-            let attr = row[1].as_i64().ok_or_else(|| bad("elem_defs.attr_id"))?;
-            let name = row[2].as_str().ok_or_else(|| bad("elem_defs.name"))?;
-            let source = row[3].as_str();
-            let dtype = match row[4].as_str() {
-                Some("int") => ValueType::Int,
-                Some("float") => ValueType::Float,
-                Some("bool") => ValueType::Bool,
-                _ => ValueType::Str,
-            };
-            defs.replay_dynamic_elem(id, attr, name, source, dtype)?;
-        }
-
-        // Next object id continues after the largest stored one.
-        let next_object = db
-            .execute(&Plan::Scan { table: "objects".into(), filter: None })?
-            .rows
-            .iter()
-            .filter_map(|r| r[0].as_i64())
-            .max()
-            .unwrap_or(0)
-            + 1;
-
-        MetadataCatalog::from_parts(db, partition, ordering, defs, config, next_object)
+            (None, Some(order)) => ordering.node(order).node,
+            (None, None) => {
+                return Err(CatalogError::Definition(format!(
+                    "snapshot attribute #{id} has neither parent nor schema order"
+                )));
+            }
+        };
+        defs.replay_dynamic_attr(id, name, source, parent, anchor, schema_order, level)?;
     }
+
+    let elem_rows = db.execute(&Plan::Sort {
+        input: Box::new(Plan::Scan { table: "elem_defs".into(), filter: None }),
+        keys: vec![(0, false)],
+    })?;
+    for row in &elem_rows.rows {
+        let id = row[0].as_i64().ok_or_else(|| bad("elem_defs.elem_id"))?;
+        if id <= structural_elems {
+            continue; // re-derived from the partition
+        }
+        let attr = row[1].as_i64().ok_or_else(|| bad("elem_defs.attr_id"))?;
+        let name = row[2].as_str().ok_or_else(|| bad("elem_defs.name"))?;
+        let source = row[3].as_str();
+        let dtype = match row[4].as_str() {
+            Some("int") => ValueType::Int,
+            Some("float") => ValueType::Float,
+            Some("bool") => ValueType::Bool,
+            _ => ValueType::Str,
+        };
+        defs.replay_dynamic_elem(id, attr, name, source, dtype)?;
+    }
+
+    // Next object id continues after the largest stored one.
+    let next_object = db
+        .execute(&Plan::Scan { table: "objects".into(), filter: None })?
+        .rows
+        .iter()
+        .filter_map(|r| r[0].as_i64())
+        .max()
+        .unwrap_or(0)
+        + 1;
+
+    MetadataCatalog::from_parts(db, partition, ordering, defs, config, next_object)
 }
 
 fn bad(what: &str) -> CatalogError {

@@ -158,14 +158,14 @@ pub fn load_ordering(db: &Database, ordering: &GlobalOrdering) -> Result<()> {
 }
 
 /// Mirror (or re-mirror) the definitions into `attr_defs`/`elem_defs`.
-/// Idempotent: replaces existing mirror rows.
+/// Idempotent: replaces existing mirror rows. One transaction, so a
+/// durable catalog never recovers a half-refreshed mirror.
 pub fn sync_defs(db: &Database, defs: &DefsRegistry) -> Result<()> {
-    {
-        let t = db.table("attr_defs")?;
-        let mut guard = t.write();
-        guard.truncate();
-        for a in defs.attrs() {
-            guard.insert(vec![
+    let attr_rows: Vec<Vec<Value>> = defs
+        .attrs()
+        .iter()
+        .map(|a| {
+            vec![
                 Value::Int(a.id),
                 Value::Str(a.name.clone()),
                 a.source.clone().map(Value::Str).unwrap_or(Value::Null),
@@ -177,23 +177,32 @@ pub fn sync_defs(db: &Database, defs: &DefsRegistry) -> Result<()> {
                     crate::defs::DefLevel::Admin => "admin".to_string(),
                     crate::defs::DefLevel::User(u) => format!("user:{u}"),
                 }),
-            ])?;
-        }
-    }
-    {
-        let t = db.table("elem_defs")?;
-        let mut guard = t.write();
-        guard.truncate();
-        for e in defs.elems() {
-            guard.insert(vec![
+            ]
+        })
+        .collect();
+    let elem_rows: Vec<Vec<Value>> = defs
+        .elems()
+        .iter()
+        .map(|e| {
+            vec![
                 Value::Int(e.id),
                 Value::Int(e.attr),
                 Value::Str(e.name.clone()),
                 e.source.clone().map(Value::Str).unwrap_or(Value::Null),
                 Value::Str(e.dtype.name().to_string()),
-            ])?;
-        }
+            ]
+        })
+        .collect();
+    let mut txn = db.txn();
+    txn.truncate("attr_defs")?;
+    if !attr_rows.is_empty() {
+        txn.insert("attr_defs", attr_rows)?;
     }
+    txn.truncate("elem_defs")?;
+    if !elem_rows.is_empty() {
+        txn.insert("elem_defs", elem_rows)?;
+    }
+    txn.commit()?;
     Ok(())
 }
 

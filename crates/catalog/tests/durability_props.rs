@@ -1,0 +1,189 @@
+//! Catalog-level crash-recovery property tests (random workloads).
+//!
+//! A random ingest / delete-object / register-dynamic workload runs
+//! against a durable catalog on an in-memory VFS. Crashes are then
+//! simulated at every operation boundary (exact prefix of the WAL) and
+//! at sampled offsets *inside* each operation's log records. Recovery
+//! must reproduce exactly the committed prefix — byte-identical store
+//! state against an uncrashed oracle catalog that applied the same
+//! prefix — and a crash mid-operation must never expose a partial
+//! ingest (the torn transaction disappears entirely).
+
+use catalog::lead::{fig4_query, lead_partition, register_arps_defs, DETAILED_PATH, FIG3_DOCUMENT};
+use catalog::prelude::*;
+use minidb::wal::WAL_FILE;
+use minidb::{MemVfs, WalOptions};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::Arc;
+use xmlkit::ValueType;
+
+/// Small LEAD document parameterized by grid spacing and keyword.
+fn doc(i: usize, dx: u8, key: u8) -> String {
+    let dx = 250.0 * ((dx % 4) + 1) as f64;
+    let key = ["rain", "snow", "wind"][key as usize % 3];
+    format!(
+        "<LEADresource><resourceID>run-{i}</resourceID><data>\
+         <idinfo><keywords><theme><themekt>CF</themekt><themekey>{key}</themekey>\
+         </theme></keywords></idinfo>\
+         <geospatial><eainfo><detailed>\
+         <enttyp><enttypl>grid</enttypl><enttypds>ARPS</enttypds></enttyp>\
+         <attr><attrlabl>dx</attrlabl><attrdefs>ARPS</attrdefs><attrv>{dx}</attrv></attr>\
+         </detailed></eainfo></geospatial></data></LEADresource>"
+    )
+}
+
+/// Interpret one op code against a catalog. Both the durable catalog
+/// and the oracle run exactly this interpreter, so their mutation
+/// sequences are identical.
+fn apply_op(
+    cat: &MetadataCatalog,
+    i: usize,
+    op: &(u32, u8, u8),
+    live: &mut Vec<i64>,
+    n_reg: &mut u32,
+) -> Result<()> {
+    let (code, p1, p2) = *op;
+    match code {
+        0..=54 => {
+            let id = cat.ingest(&doc(i, p1, p2))?;
+            live.push(id);
+        }
+        55..=74 => {
+            if live.is_empty() {
+                let id = cat.ingest(&doc(i, p1, p2))?;
+                live.push(id);
+            } else {
+                let id = live.remove(p1 as usize % live.len());
+                cat.delete_object(id)?;
+            }
+        }
+        _ => {
+            *n_reg += 1;
+            cat.register_dynamic(
+                DETAILED_PATH,
+                &DynamicAttrSpec::new(format!("dyn{n_reg}"), "WRF").element("x", ValueType::Float),
+                DefLevel::User("keisha".into()),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+fn recover_image(wal_prefix: &[u8]) -> Vec<u8> {
+    let vfs = MemVfs::new();
+    vfs.overwrite(WAL_FILE, wal_prefix.to_vec());
+    let cat = MetadataCatalog::open_with(
+        Arc::new(vfs),
+        WalOptions::default(),
+        lead_partition(),
+        CatalogConfig::default(),
+    )
+    .expect("recovery must succeed at any crash point");
+    cat.db().state_image().expect("state image")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// For every op boundary and sampled mid-op WAL offsets, recovery
+    /// equals the oracle that applied exactly the committed prefix.
+    #[test]
+    fn crash_recovery_is_prefix_consistent(
+        ops in vec((0u32..100, 0u8..250, 0u8..250), 8..18),
+    ) {
+        let vfs = MemVfs::new();
+        let cat = MetadataCatalog::open_with(
+            Arc::new(vfs.clone()),
+            WalOptions::default(),
+            lead_partition(),
+            CatalogConfig::default(),
+        )
+        .unwrap();
+        register_arps_defs(&cat).unwrap();
+
+        let oracle = MetadataCatalog::new(lead_partition(), CatalogConfig::default()).unwrap();
+        register_arps_defs(&oracle).unwrap();
+
+        // `boundaries[k]` = (synced WAL length, oracle image) after the
+        // bootstrap + first k ops.
+        let wal_len = |v: &MemVfs| v.file(WAL_FILE).unwrap().len();
+        let mut boundaries = vec![(wal_len(&vfs), oracle.db().state_image().unwrap())];
+        let (mut live_d, mut reg_d) = (Vec::new(), 0u32);
+        let (mut live_o, mut reg_o) = (Vec::new(), 0u32);
+        for (i, op) in ops.iter().enumerate() {
+            apply_op(&cat, i, op, &mut live_d, &mut reg_d).expect("durable op");
+            apply_op(&oracle, i, op, &mut live_o, &mut reg_o).expect("oracle op");
+            boundaries.push((wal_len(&vfs), oracle.db().state_image().unwrap()));
+        }
+        prop_assert_eq!(&live_d, &live_o, "durable and oracle ids must match");
+        let wal = vfs.file(WAL_FILE).unwrap();
+
+        for w in boundaries.windows(2) {
+            let (start, ref image) = w[0];
+            let (end, _) = w[1];
+            // Crash exactly at the op boundary: full committed prefix.
+            prop_assert_eq!(&recover_image(&wal[..start]), image, "boundary at {}", start);
+            // Crash inside the next op's log records: the torn
+            // transaction vanishes entirely — no partial ingest, no
+            // partial delete, no half-refreshed definition mirror.
+            let span = end - start;
+            for frac in [1, 2, 3] {
+                let off = start + span * frac / 4;
+                if off > start && off < end {
+                    prop_assert_eq!(
+                        &recover_image(&wal[..off]),
+                        image,
+                        "mid-op offset {} in ({}, {})", off, start, end
+                    );
+                }
+            }
+        }
+        // And the complete log recovers the full final state.
+        let (final_len, ref final_image) = boundaries[boundaries.len() - 1];
+        prop_assert_eq!(final_len, wal.len());
+        prop_assert_eq!(&recover_image(&wal), final_image);
+    }
+}
+
+/// Checkpoint + tail replay end to end at the catalog level, including
+/// the `wal.recovered_records` observability counter.
+#[test]
+fn checkpoint_then_crash_recovers_acked_ingests() {
+    let vfs = MemVfs::new();
+    let cat = MetadataCatalog::open_with(
+        Arc::new(vfs.clone()),
+        WalOptions::default(),
+        lead_partition(),
+        CatalogConfig::default(),
+    )
+    .unwrap();
+    register_arps_defs(&cat).unwrap();
+    assert!(cat.is_durable());
+
+    let mut ids = Vec::new();
+    for _ in 0..5 {
+        ids.push(cat.ingest(FIG3_DOCUMENT).unwrap());
+    }
+    cat.checkpoint().unwrap();
+    for _ in 0..3 {
+        ids.push(cat.ingest(FIG3_DOCUMENT).unwrap());
+    }
+    drop(cat); // crash: no checkpoint after the last three ingests
+
+    let before = obs::global().counter("wal.recovered_records").get();
+    let recovered = MetadataCatalog::open_with(
+        Arc::new(vfs.crashed_copy()),
+        WalOptions::default(),
+        lead_partition(),
+        CatalogConfig::default(),
+    )
+    .unwrap();
+    let replayed = obs::global().counter("wal.recovered_records").get() - before;
+    assert!(replayed > 0, "the post-checkpoint tail must replay through the WAL");
+    assert_eq!(recovered.stats().objects, 8);
+    assert_eq!(recovered.query(&fig4_query()).unwrap(), ids);
+    // The recovered catalog keeps working durably.
+    let id9 = recovered.ingest(FIG3_DOCUMENT).unwrap();
+    assert_eq!(id9, ids[ids.len() - 1] + 1);
+}

@@ -13,10 +13,15 @@ use crate::exec::{run_aggregate, run_hash_join, run_semi_join, JoinKind, Plan, R
 use crate::expr::Expr;
 use crate::keyset::{Key, KeySet, KeyedRows};
 use crate::profile::PlanProfile;
-use crate::table::{Index, Row, Table, TableSchema};
+use crate::table::{Index, Row, RowId, Table, TableSchema};
 use crate::value::{DataType, Value};
-use parking_lot::RwLock;
+use crate::wal::{
+    encode_wal_header, scan_wal, StdVfs, Vfs, WalOptions, WalRecord, WalWriter, SNAPSHOT_FILE,
+    SNAPSHOT_TMP, WAL_FILE, WAL_TMP,
+};
+use parking_lot::{Mutex, MutexGuard, RwLock};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -206,12 +211,23 @@ fn record_keyed(prof: &mut Option<PlanProfile>, start: Option<Instant>, path: &[
     }
 }
 
-/// An embedded, in-memory relational database.
+/// Durable-mode state: the VFS the database lives on plus the
+/// serialized WAL appender. The writer mutex is always acquired before
+/// any table or CLOB lock, so WAL order equals apply order.
+pub(crate) struct Durability {
+    vfs: Arc<dyn Vfs>,
+    writer: Mutex<WalWriter>,
+}
+
+/// An embedded, in-memory relational database, optionally backed by a
+/// write-ahead log (see [`Database::open`] and [`crate::wal`]).
 #[derive(Default)]
 pub struct Database {
     tables: RwLock<HashMap<String, Arc<RwLock<Table>>>>,
     /// CLOB heap shared by all tables (locators are `CLOB` columns).
     pub clobs: ClobStore,
+    /// `Some` when opened durably; `None` for plain in-memory use.
+    dur: Option<Durability>,
 }
 
 impl Database {
@@ -220,24 +236,277 @@ impl Database {
         Database::default()
     }
 
+    /// Open (or create) a durable database rooted at directory `dir`:
+    /// recover the snapshot plus the committed WAL tail, then keep
+    /// logging every mutation through the WAL (fsync on commit).
+    pub fn open(dir: impl AsRef<Path>) -> Result<Database> {
+        Database::open_with(Arc::new(StdVfs::new(dir.as_ref())?), WalOptions::default())
+    }
+
+    /// [`Database::open`] over an explicit [`Vfs`] and WAL options —
+    /// the entry point for in-memory crash testing ([`crate::wal::MemVfs`])
+    /// and fault injection ([`crate::wal::FaultyVfs`]).
+    pub fn open_with(vfs: Arc<dyn Vfs>, opts: WalOptions) -> Result<Database> {
+        // 1. Snapshot, if any.
+        let (mut db, snap_lsn) = match vfs.read(SNAPSHOT_FILE)? {
+            Some(bytes) => crate::snapshot::load_snapshot_bytes(&bytes)?,
+            None => (Database::new(), 0),
+        };
+        // 2. WAL tail: replay committed transactions newer than the
+        //    snapshot, then truncate away any torn / uncommitted
+        //    suffix so later appends cannot resurrect it.
+        let writer = if let Some(bytes) = vfs.read(WAL_FILE)? {
+            let scan = scan_wal(&bytes)?;
+            let mut recovered = 0u64;
+            for (lsn, records) in &scan.txns {
+                if *lsn <= snap_lsn {
+                    continue;
+                }
+                for rec in records {
+                    db.apply_record(rec).map_err(|e| {
+                        DbError::Corrupt(format!("wal replay failed at lsn {lsn}: {e}"))
+                    })?;
+                    recovered += 1;
+                }
+            }
+            obs::global().counter("wal.recovered_records").add(recovered);
+            if (bytes.len() as u64) > scan.valid_len {
+                vfs.set_len(WAL_FILE, scan.valid_len)?;
+            }
+            WalWriter {
+                file: vfs.open_append(WAL_FILE)?,
+                next_lsn: scan.next_lsn.max(snap_lsn + 1),
+                policy: opts.sync,
+                unsynced: 0,
+            }
+        } else {
+            // Fresh log, installed atomically (tmp + rename) so a
+            // crash mid-creation never leaves a half-written header
+            // under the real name.
+            let base = snap_lsn + 1;
+            let mut f = vfs.create(WAL_TMP)?;
+            f.append(&encode_wal_header(base))?;
+            f.sync()?;
+            drop(f);
+            vfs.rename(WAL_TMP, WAL_FILE)?;
+            WalWriter {
+                file: vfs.open_append(WAL_FILE)?,
+                next_lsn: base,
+                policy: opts.sync,
+                unsynced: 0,
+            }
+        };
+        db.dur = Some(Durability { vfs, writer: Mutex::new(writer) });
+        Ok(db)
+    }
+
+    /// `true` when this database was opened durably.
+    pub fn is_durable(&self) -> bool {
+        self.dur.is_some()
+    }
+
+    /// LSN of the most recently committed transaction (0 if none, or
+    /// if the database is not durable).
+    pub fn last_lsn(&self) -> u64 {
+        self.dur
+            .as_ref()
+            .map(|d| d.writer.lock().next_lsn.saturating_sub(1))
+            .unwrap_or(0)
+    }
+
+    /// Serialize the full logical state — schemas, index definitions,
+    /// live rows, CLOB heap — to an in-memory snapshot image. Two
+    /// databases with identical logical contents produce identical
+    /// images, which makes this a deep-equality probe for recovery
+    /// tests and replica divergence checks.
+    pub fn state_image(&self) -> Result<Vec<u8>> {
+        self.snapshot_bytes(0)
+    }
+
+    /// Start a transaction: a batch of mutations made atomic and
+    /// durable by [`Txn::commit`]. On a durable database this takes
+    /// the WAL writer lock for the whole transaction (transactions are
+    /// serialized); on an in-memory database the ops apply directly
+    /// and commit is a no-op, so callers can use one code path.
+    pub fn txn(&self) -> Txn<'_> {
+        let wal = self.dur.as_ref().map(|d| d.writer.lock());
+        Txn { db: self, wal, pending: Vec::new() }
+    }
+
+    /// Checkpoint a durable database: write a snapshot stamped with the
+    /// last committed LSN (tmp + rename), then swap in a fresh WAL so
+    /// the log stays short. Returns the stamped LSN. Commits are
+    /// excluded for the duration (writer lock held).
+    pub fn checkpoint(&self) -> Result<u64> {
+        let Some(dur) = &self.dur else {
+            return Err(DbError::Io("checkpoint: database is not durable".into()));
+        };
+        let reg = obs::global();
+        let _span = reg.span("wal.checkpoint");
+        let mut w = dur.writer.lock();
+        // Batched commits must be on disk before the snapshot claims
+        // to cover them.
+        w.sync()?;
+        let lsn = w.next_lsn.saturating_sub(1);
+        let snap = self.snapshot_bytes(lsn)?;
+        let mut f = dur.vfs.create(SNAPSHOT_TMP)?;
+        f.append(&snap)?;
+        f.sync()?;
+        drop(f);
+        dur.vfs.rename(SNAPSHOT_TMP, SNAPSHOT_FILE)?;
+        let mut f = dur.vfs.create(WAL_TMP)?;
+        f.append(&encode_wal_header(lsn + 1))?;
+        f.sync()?;
+        drop(f);
+        dur.vfs.rename(WAL_TMP, WAL_FILE)?;
+        w.file = dur.vfs.open_append(WAL_FILE)?;
+        w.unsynced = 0;
+        reg.counter("wal.checkpoints").incr();
+        Ok(lsn)
+    }
+
+    /// Flush any batched (group-commit) WAL appends to disk.
+    pub fn sync_wal(&self) -> Result<()> {
+        match &self.dur {
+            Some(d) => d.writer.lock().sync(),
+            None => Ok(()),
+        }
+    }
+
     /// Create a table; errors if the name is taken.
     pub fn create_table(&self, name: impl Into<String>, schema: TableSchema) -> Result<()> {
-        let name = name.into();
-        let mut tables = self.tables.write();
-        if tables.contains_key(&name) {
-            return Err(DbError::TableExists(name));
-        }
-        tables.insert(name.clone(), Arc::new(RwLock::new(Table::new(name, schema))));
-        Ok(())
+        let mut t = self.txn();
+        t.create_table(name, schema)?;
+        t.commit()
     }
 
     /// Drop a table; errors if absent.
     pub fn drop_table(&self, name: &str) -> Result<()> {
+        let mut t = self.txn();
+        t.drop_table(name)?;
+        t.commit()
+    }
+
+    fn apply_create_table(&self, name: &str, schema: &TableSchema) -> Result<()> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(name) {
+            return Err(DbError::TableExists(name.to_string()));
+        }
+        tables.insert(
+            name.to_string(),
+            Arc::new(RwLock::new(Table::new(name.to_string(), schema.clone()))),
+        );
+        Ok(())
+    }
+
+    fn apply_drop_table(&self, name: &str) -> Result<()> {
         self.tables
             .write()
             .remove(name)
             .map(|_| ())
             .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    fn apply_create_index(
+        &self,
+        table: &str,
+        index: &str,
+        columns: &[usize],
+        unique: bool,
+    ) -> Result<()> {
+        let t = self.table(table)?;
+        let mut guard = t.write();
+        guard.create_index(index, columns.to_vec(), unique)
+    }
+
+    fn apply_insert(&self, table: &str, rows: &[Row]) -> Result<usize> {
+        let t = self.table(table)?;
+        let mut guard = t.write();
+        guard.insert_many(rows.iter().cloned())
+    }
+
+    fn apply_delete_where(&self, table: &str, pred: &Expr) -> Result<usize> {
+        let t = self.table(table)?;
+        let mut guard = t.write();
+        let mut err = None;
+        let n = guard.delete_where(|r| match pred.matches(r) {
+            Ok(b) => b,
+            Err(e) => {
+                err = Some(e);
+                false
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(n),
+        }
+    }
+
+    fn apply_update_where(
+        &self,
+        table: &str,
+        pred: Option<&Expr>,
+        sets: &[(usize, Expr)],
+    ) -> Result<usize> {
+        let t = self.table(table)?;
+        let mut guard = t.write();
+        let victims: Vec<RowId> = guard
+            .scan()
+            .filter_map(|(rid, row)| match pred {
+                None => Some(Ok(rid)),
+                Some(p) => match p.matches(row) {
+                    Ok(true) => Some(Ok(rid)),
+                    Ok(false) => None,
+                    Err(e) => Some(Err(e)),
+                },
+            })
+            .collect::<Result<_>>()?;
+        let mut n = 0;
+        for rid in victims {
+            let new_values: Vec<(usize, Value)> = {
+                let row = guard.get(rid).expect("victim row is live").clone();
+                sets.iter().map(|(c, e)| e.eval(&row).map(|v| (*c, v))).collect::<Result<_>>()?
+            };
+            guard.update(rid, |row| {
+                for (c, v) in new_values {
+                    row[c] = v;
+                }
+            })?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    fn apply_truncate(&self, table: &str) -> Result<usize> {
+        let t = self.table(table)?;
+        let mut guard = t.write();
+        let n = guard.len();
+        guard.truncate();
+        Ok(n)
+    }
+
+    /// Apply one recovered WAL record to in-memory state (no logging).
+    pub(crate) fn apply_record(&self, rec: &WalRecord) -> Result<()> {
+        match rec {
+            WalRecord::CreateTable { name, schema } => self.apply_create_table(name, schema),
+            WalRecord::DropTable { name } => self.apply_drop_table(name),
+            WalRecord::CreateIndex { table, name, columns, unique } => {
+                self.apply_create_index(table, name, columns, *unique)
+            }
+            WalRecord::Insert { table, rows } => self.apply_insert(table, rows).map(|_| ()),
+            WalRecord::DeleteWhere { table, pred } => {
+                self.apply_delete_where(table, pred).map(|_| ())
+            }
+            WalRecord::UpdateWhere { table, pred, sets } => {
+                self.apply_update_where(table, pred.as_ref(), sets).map(|_| ())
+            }
+            WalRecord::Truncate { table } => self.apply_truncate(table).map(|_| ()),
+            WalRecord::ClobPut { data } => {
+                self.clobs.put(data.clone());
+                Ok(())
+            }
+            WalRecord::Commit { .. } => Ok(()),
+        }
     }
 
     /// Handle to a table.
@@ -263,9 +532,10 @@ impl Database {
 
     /// Insert rows into a named table.
     pub fn insert(&self, table: &str, rows: impl IntoIterator<Item = Row>) -> Result<usize> {
-        let t = self.table(table)?;
-        let mut guard = t.write();
-        guard.insert_many(rows)
+        let mut t = self.txn();
+        let n = t.insert(table, rows.into_iter().collect())?;
+        t.commit()?;
+        Ok(n)
     }
 
     /// Create an index on a named table.
@@ -276,11 +546,18 @@ impl Database {
         columns: &[&str],
         unique: bool,
     ) -> Result<()> {
-        let t = self.table(table)?;
-        let mut guard = t.write();
-        let cols: Vec<usize> =
-            columns.iter().map(|c| guard.schema.col(c)).collect::<Result<_>>()?;
-        guard.create_index(index, cols, unique)
+        let mut t = self.txn();
+        t.create_index(table, index, columns, unique)?;
+        t.commit()
+    }
+
+    /// Store a CLOB, returning its locator. On a durable database the
+    /// put is logged (its own transaction).
+    pub fn put_clob(&self, data: Vec<u8>) -> Result<u64> {
+        let mut t = self.txn();
+        let loc = t.put_clob(data);
+        t.commit()?;
+        Ok(loc)
     }
 
     /// Number of live rows in a table.
@@ -749,20 +1026,190 @@ impl Database {
 
     /// Delete rows matching `pred` from a table; returns the count.
     pub fn delete_where(&self, table: &str, pred: &Expr) -> Result<usize> {
-        let t = self.table(table)?;
-        let mut guard = t.write();
-        let mut err = None;
-        let n = guard.delete_where(|r| match pred.matches(r) {
-            Ok(b) => b,
-            Err(e) => {
-                err = Some(e);
-                false
-            }
-        });
-        match err {
-            Some(e) => Err(e),
-            None => Ok(n),
+        let mut t = self.txn();
+        let n = t.delete_where(table, pred)?;
+        t.commit()?;
+        Ok(n)
+    }
+
+    /// Update rows matching `pred` (all rows when `None`): each
+    /// `(column, expr)` in `sets` is evaluated against the old row.
+    /// Returns the number of updated rows.
+    pub fn update_where(
+        &self,
+        table: &str,
+        pred: Option<&Expr>,
+        sets: &[(usize, Expr)],
+    ) -> Result<usize> {
+        let mut t = self.txn();
+        let n = t.update_where(table, pred, sets)?;
+        t.commit()?;
+        Ok(n)
+    }
+
+    /// Remove all rows of a table; returns the count removed.
+    pub fn truncate_table(&self, table: &str) -> Result<usize> {
+        let mut t = self.txn();
+        let n = t.truncate(table)?;
+        t.commit()?;
+        Ok(n)
+    }
+}
+
+impl Drop for Database {
+    fn drop(&mut self) {
+        // Best-effort flush of batched commits; crash-consistency does
+        // not depend on this (unsynced commits were never acked as
+        // durable under `SyncPolicy::Batched`).
+        if let Some(d) = &self.dur {
+            let _ = d.writer.lock().sync();
         }
+    }
+}
+
+/// A batch of mutations that commits atomically through the WAL.
+///
+/// Operations apply to in-memory state immediately (so later
+/// operations in the same transaction see their effects — the catalog
+/// inserts rows referencing CLOB locators it just allocated) and are
+/// buffered as WAL records. [`Txn::commit`] appends the batch plus a
+/// commit frame and fsyncs per the database's [`crate::wal::SyncPolicy`]; only
+/// then is the transaction durable. If the transaction is dropped
+/// without committing — or a mid-batch operation fails — nothing is
+/// logged, and recovery after a crash reflects none of it: crashes
+/// never expose a partial transaction.
+///
+/// On a durable database the transaction holds the WAL writer lock
+/// for its whole lifetime, serializing writers; this is what makes
+/// log order equal apply order (and CLOB locator assignment replay
+/// deterministically). On an in-memory database all methods are plain
+/// passthroughs.
+pub struct Txn<'a> {
+    db: &'a Database,
+    wal: Option<MutexGuard<'a, WalWriter>>,
+    pending: Vec<WalRecord>,
+}
+
+impl Txn<'_> {
+    fn log(&mut self, rec: impl FnOnce() -> WalRecord) {
+        if self.wal.is_some() {
+            self.pending.push(rec());
+        }
+    }
+
+    /// Create a table (see [`Database::create_table`]).
+    pub fn create_table(&mut self, name: impl Into<String>, schema: TableSchema) -> Result<()> {
+        let name = name.into();
+        self.db.apply_create_table(&name, &schema)?;
+        self.log(|| WalRecord::CreateTable { name, schema });
+        Ok(())
+    }
+
+    /// Drop a table.
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        self.db.apply_drop_table(name)?;
+        self.log(|| WalRecord::DropTable { name: name.to_string() });
+        Ok(())
+    }
+
+    /// Create an index, resolving column names against the schema.
+    pub fn create_index(
+        &mut self,
+        table: &str,
+        index: &str,
+        columns: &[&str],
+        unique: bool,
+    ) -> Result<()> {
+        let cols: Vec<usize> = {
+            let t = self.db.table(table)?;
+            let guard = t.read();
+            columns.iter().map(|c| guard.schema.col(c)).collect::<Result<_>>()?
+        };
+        self.db.apply_create_index(table, index, &cols, unique)?;
+        self.log(|| WalRecord::CreateIndex {
+            table: table.to_string(),
+            name: index.to_string(),
+            columns: cols,
+            unique,
+        });
+        Ok(())
+    }
+
+    /// Create an index over already-resolved column positions.
+    pub fn create_index_at(
+        &mut self,
+        table: &str,
+        index: &str,
+        columns: Vec<usize>,
+        unique: bool,
+    ) -> Result<()> {
+        self.db.apply_create_index(table, index, &columns, unique)?;
+        self.log(|| WalRecord::CreateIndex {
+            table: table.to_string(),
+            name: index.to_string(),
+            columns,
+            unique,
+        });
+        Ok(())
+    }
+
+    /// Insert fully-shaped rows.
+    pub fn insert(&mut self, table: &str, rows: Vec<Row>) -> Result<usize> {
+        let n = self.db.apply_insert(table, &rows)?;
+        self.log(|| WalRecord::Insert { table: table.to_string(), rows });
+        Ok(n)
+    }
+
+    /// Delete rows matching `pred`; returns the count.
+    pub fn delete_where(&mut self, table: &str, pred: &Expr) -> Result<usize> {
+        let n = self.db.apply_delete_where(table, pred)?;
+        self.log(|| WalRecord::DeleteWhere { table: table.to_string(), pred: pred.clone() });
+        Ok(n)
+    }
+
+    /// Update rows matching `pred` (all when `None`); returns the count.
+    pub fn update_where(
+        &mut self,
+        table: &str,
+        pred: Option<&Expr>,
+        sets: &[(usize, Expr)],
+    ) -> Result<usize> {
+        let n = self.db.apply_update_where(table, pred, sets)?;
+        self.log(|| WalRecord::UpdateWhere {
+            table: table.to_string(),
+            pred: pred.cloned(),
+            sets: sets.to_vec(),
+        });
+        Ok(n)
+    }
+
+    /// Remove all rows of a table; returns the count removed.
+    pub fn truncate(&mut self, table: &str) -> Result<usize> {
+        let n = self.db.apply_truncate(table)?;
+        self.log(|| WalRecord::Truncate { table: table.to_string() });
+        Ok(n)
+    }
+
+    /// Store a CLOB, returning its locator.
+    pub fn put_clob(&mut self, data: Vec<u8>) -> u64 {
+        if self.wal.is_some() {
+            let loc = self.db.clobs.put(data.clone());
+            self.pending.push(WalRecord::ClobPut { data });
+            loc
+        } else {
+            self.db.clobs.put(data)
+        }
+    }
+
+    /// Make the batch durable. No-op on an in-memory database or an
+    /// empty transaction.
+    pub fn commit(mut self) -> Result<()> {
+        if let Some(w) = self.wal.as_mut() {
+            if !self.pending.is_empty() {
+                w.commit(&self.pending)?;
+            }
+        }
+        Ok(())
     }
 }
 

@@ -23,6 +23,11 @@ pub enum DbError {
     Plan(String),
     /// CLOB locator does not resolve.
     NoSuchClob(u64),
+    /// Durable storage I/O failure (VFS, WAL append, fsync).
+    Io(String),
+    /// Durable storage corruption: a snapshot or WAL record whose
+    /// checksum or framing is provably wrong (not merely truncated).
+    Corrupt(String),
 }
 
 impl fmt::Display for DbError {
@@ -37,6 +42,8 @@ impl fmt::Display for DbError {
             DbError::Parse(m) => write!(f, "SQL parse error: {m}"),
             DbError::Plan(m) => write!(f, "plan error: {m}"),
             DbError::NoSuchClob(id) => write!(f, "no such CLOB: {id}"),
+            DbError::Io(m) => write!(f, "storage io error: {m}"),
+            DbError::Corrupt(m) => write!(f, "storage corruption: {m}"),
         }
     }
 }

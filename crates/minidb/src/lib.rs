@@ -40,11 +40,12 @@ pub mod snapshot;
 pub mod sql;
 pub mod table;
 pub mod value;
+pub mod wal;
 
 /// Common imports for engine users.
 pub mod prelude {
     pub use crate::clob::{ClobId, ClobStore};
-    pub use crate::db::Database;
+    pub use crate::db::{Database, Txn};
     pub use crate::error::{DbError, Result};
     pub use crate::exec::{AggCall, AggFunc, JoinKind, Plan, ResultSet};
     pub use crate::explain::{explain, explain_analyze};
@@ -53,6 +54,7 @@ pub mod prelude {
     pub use crate::profile::{NodeStats, PlanProfile};
     pub use crate::table::{Column, Row, RowId, Table, TableSchema};
     pub use crate::value::{DataType, Value};
+    pub use crate::wal::{FaultyVfs, MemVfs, StdVfs, SyncPolicy, Vfs, WalOptions};
 }
 
 pub use prelude::*;

@@ -4,7 +4,9 @@
 //! restarts, so the database serializes to a compact binary snapshot
 //! (tables with schemas and live rows, indexes as definitions that are
 //! rebuilt on load, and the CLOB heap). The format is versioned and
-//! length-prefixed throughout; loads validate every tag and bound.
+//! length-prefixed throughout; loads validate every tag and bound, and
+//! the whole image is covered by a trailing CRC32 so any bit flip
+//! surfaces as a clean [`DbError`] rather than silently-wrong data.
 
 use crate::clob::ClobStore;
 use crate::db::Database;
@@ -16,35 +18,86 @@ use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"MDB1";
 
-/// Writer half of the snapshot codec.
-struct Enc<W: Write> {
-    w: W,
+/// Snapshot format version. Version 2 added the u64 LSN stamp after
+/// the version word (see [`crate::wal`]) — recovery replays only WAL
+/// transactions newer than the snapshot's LSN — and the trailing
+/// CRC32 over everything before it.
+const VERSION: u32 = 2;
+
+/// Streams writes through an incremental CRC32 so the snapshot can be
+/// stamped with a trailer checksum without a second pass.
+struct CrcWriter<W: Write> {
+    inner: W,
+    crc: u32,
+}
+
+impl<W: Write> Write for CrcWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.crc = crate::wal::crc32_accum(self.crc, &buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Streams reads through an incremental CRC32 for trailer validation.
+struct CrcReader<R: Read> {
+    inner: R,
+    crc: u32,
+}
+
+impl<R: Read> Read for CrcReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.crc = crate::wal::crc32_accum(self.crc, &buf[..n]);
+        Ok(n)
+    }
+}
+
+/// Hard ceiling on any single length-prefixed payload. Loads of
+/// corrupted files must fail with a clean error, never an OOM-sized
+/// allocation.
+const MAX_CHUNK: u64 = 1 << 30;
+
+/// Clamp for `Vec::with_capacity` on decoded counts: trust the count
+/// only after the elements actually decode.
+fn cap(n: usize) -> usize {
+    n.min(4096)
+}
+
+/// Writer half of the snapshot codec (shared with the WAL record
+/// codec in [`crate::wal`]).
+pub(crate) struct Enc<W: Write> {
+    pub(crate) w: W,
 }
 
 impl<W: Write> Enc<W> {
-    fn u8(&mut self, v: u8) -> Result<()> {
+    pub(crate) fn u8(&mut self, v: u8) -> Result<()> {
         self.w.write_all(&[v]).map_err(io_err)
     }
-    fn u32(&mut self, v: u32) -> Result<()> {
+    pub(crate) fn u32(&mut self, v: u32) -> Result<()> {
         self.w.write_all(&v.to_le_bytes()).map_err(io_err)
     }
-    fn u64(&mut self, v: u64) -> Result<()> {
+    pub(crate) fn u64(&mut self, v: u64) -> Result<()> {
         self.w.write_all(&v.to_le_bytes()).map_err(io_err)
     }
-    fn i64(&mut self, v: i64) -> Result<()> {
+    pub(crate) fn i64(&mut self, v: i64) -> Result<()> {
         self.w.write_all(&v.to_le_bytes()).map_err(io_err)
     }
-    fn f64(&mut self, v: f64) -> Result<()> {
+    pub(crate) fn f64(&mut self, v: f64) -> Result<()> {
         self.w.write_all(&v.to_le_bytes()).map_err(io_err)
     }
-    fn bytes(&mut self, b: &[u8]) -> Result<()> {
+    pub(crate) fn bytes(&mut self, b: &[u8]) -> Result<()> {
         self.u64(b.len() as u64)?;
         self.w.write_all(b).map_err(io_err)
     }
-    fn string(&mut self, s: &str) -> Result<()> {
+    pub(crate) fn string(&mut self, s: &str) -> Result<()> {
         self.bytes(s.as_bytes())
     }
-    fn value(&mut self, v: &Value) -> Result<()> {
+    pub(crate) fn value(&mut self, v: &Value) -> Result<()> {
         match v {
             Value::Null => self.u8(0),
             Value::Bool(b) => {
@@ -67,51 +120,58 @@ impl<W: Write> Enc<W> {
     }
 }
 
-/// Reader half of the snapshot codec.
-struct Dec<R: Read> {
-    r: R,
+/// Reader half of the snapshot codec (shared with the WAL record
+/// codec in [`crate::wal`]). All length-prefixed reads are bounded.
+pub(crate) struct Dec<R: Read> {
+    pub(crate) r: R,
 }
 
 impl<R: Read> Dec<R> {
-    fn u8(&mut self) -> Result<u8> {
+    pub(crate) fn u8(&mut self) -> Result<u8> {
         let mut b = [0u8; 1];
         self.r.read_exact(&mut b).map_err(io_err)?;
         Ok(b[0])
     }
-    fn u32(&mut self) -> Result<u32> {
+    pub(crate) fn u32(&mut self) -> Result<u32> {
         let mut b = [0u8; 4];
         self.r.read_exact(&mut b).map_err(io_err)?;
         Ok(u32::from_le_bytes(b))
     }
-    fn u64(&mut self) -> Result<u64> {
+    pub(crate) fn u64(&mut self) -> Result<u64> {
         let mut b = [0u8; 8];
         self.r.read_exact(&mut b).map_err(io_err)?;
         Ok(u64::from_le_bytes(b))
     }
-    fn i64(&mut self) -> Result<i64> {
+    pub(crate) fn i64(&mut self) -> Result<i64> {
         let mut b = [0u8; 8];
         self.r.read_exact(&mut b).map_err(io_err)?;
         Ok(i64::from_le_bytes(b))
     }
-    fn f64(&mut self) -> Result<f64> {
+    pub(crate) fn f64(&mut self) -> Result<f64> {
         let mut b = [0u8; 8];
         self.r.read_exact(&mut b).map_err(io_err)?;
         Ok(f64::from_le_bytes(b))
     }
-    fn bytes(&mut self) -> Result<Vec<u8>> {
-        let len = self.u64()? as usize;
-        if len > 1 << 32 {
-            return Err(DbError::Parse("snapshot: implausible byte length".into()));
+    pub(crate) fn bytes(&mut self) -> Result<Vec<u8>> {
+        let len = self.u64()?;
+        if len > MAX_CHUNK {
+            return Err(DbError::Corrupt(format!("implausible {len}-byte length prefix")));
         }
-        let mut buf = vec![0u8; len];
-        self.r.read_exact(&mut buf).map_err(io_err)?;
+        // Grow incrementally via a bounded reader instead of trusting
+        // the prefix with an up-front allocation: a corrupted length on
+        // a short file fails cleanly at EOF.
+        let mut buf = Vec::with_capacity(cap(len as usize));
+        let read = self.r.by_ref().take(len).read_to_end(&mut buf).map_err(io_err)?;
+        if (read as u64) < len {
+            return Err(DbError::Parse(format!("truncated payload: {read} of {len} bytes")));
+        }
         Ok(buf)
     }
-    fn string(&mut self) -> Result<String> {
+    pub(crate) fn string(&mut self) -> Result<String> {
         String::from_utf8(self.bytes()?)
             .map_err(|_| DbError::Parse("snapshot: invalid UTF-8".into()))
     }
-    fn value(&mut self) -> Result<Value> {
+    pub(crate) fn value(&mut self) -> Result<Value> {
         Ok(match self.u8()? {
             0 => Value::Null,
             1 => Value::Bool(self.u8()? != 0),
@@ -123,11 +183,11 @@ impl<R: Read> Dec<R> {
     }
 }
 
-fn io_err(e: std::io::Error) -> DbError {
+pub(crate) fn io_err(e: std::io::Error) -> DbError {
     DbError::Parse(format!("snapshot io: {e}"))
 }
 
-fn dtype_code(d: DataType) -> u8 {
+pub(crate) fn dtype_code(d: DataType) -> u8 {
     match d {
         DataType::Int => 0,
         DataType::Float => 1,
@@ -137,7 +197,7 @@ fn dtype_code(d: DataType) -> u8 {
     }
 }
 
-fn dtype_from(code: u8) -> Result<DataType> {
+pub(crate) fn dtype_from(code: u8) -> Result<DataType> {
     Ok(match code {
         0 => DataType::Int,
         1 => DataType::Float,
@@ -151,11 +211,37 @@ fn dtype_from(code: u8) -> Result<DataType> {
 impl Database {
     /// Write the whole database (tables, index definitions, CLOB heap)
     /// to `path`. Concurrent writers are excluded per-table while each
-    /// table is copied.
+    /// table is copied. The snapshot is stamped with LSN 0; durable
+    /// databases checkpoint through [`crate::wal`] instead, which
+    /// stamps the real log position.
     pub fn save_to(&self, path: impl AsRef<Path>) -> Result<()> {
         let file = std::fs::File::create(path).map_err(io_err)?;
-        let mut enc = Enc { w: BufWriter::new(file) };
+        let mut w = BufWriter::new(file);
+        self.write_snapshot(&mut w, 0)?;
+        w.flush().map_err(io_err)
+    }
+
+    /// Load a database previously written by [`Database::save_to`].
+    pub fn load_from(path: impl AsRef<Path>) -> Result<Database> {
+        let file = std::fs::File::open(path).map_err(io_err)?;
+        let (db, _lsn) = read_snapshot(BufReader::new(file))?;
+        Ok(db)
+    }
+
+    /// Serialize the snapshot (header stamped with `lsn`) to any
+    /// writer, appending a CRC32 trailer over everything before it.
+    pub(crate) fn write_snapshot<W: Write>(&self, w: W, lsn: u64) -> Result<()> {
+        let mut cw = CrcWriter { inner: w, crc: 0xFFFF_FFFF };
+        self.write_snapshot_body(&mut cw, lsn)?;
+        let digest = cw.crc ^ 0xFFFF_FFFF;
+        cw.inner.write_all(&digest.to_le_bytes()).map_err(io_err)
+    }
+
+    fn write_snapshot_body<W: Write>(&self, w: W, lsn: u64) -> Result<()> {
+        let mut enc = Enc { w };
         enc.w.write_all(MAGIC).map_err(io_err)?;
+        enc.u32(VERSION)?;
+        enc.u64(lsn)?;
 
         let names = self.table_names();
         enc.u32(names.len() as u32)?;
@@ -189,66 +275,95 @@ impl Database {
             }
         }
         // CLOB heap.
-        save_clobs(&self.clobs, &mut enc)?;
-        enc.w.flush().map_err(io_err)
+        save_clobs(&self.clobs, &mut enc)
     }
 
-    /// Load a database previously written by [`Database::save_to`].
-    pub fn load_from(path: impl AsRef<Path>) -> Result<Database> {
-        let file = std::fs::File::open(path).map_err(io_err)?;
-        let mut dec = Dec { r: BufReader::new(file) };
-        let mut magic = [0u8; 4];
-        dec.r.read_exact(&mut magic).map_err(io_err)?;
-        if &magic != MAGIC {
-            return Err(DbError::Parse("snapshot: bad magic".into()));
-        }
-        let db = Database::new();
-        let n_tables = dec.u32()?;
-        for _ in 0..n_tables {
-            let name = dec.string()?;
-            let n_cols = dec.u32()?;
-            let mut cols = Vec::with_capacity(n_cols as usize);
-            for _ in 0..n_cols {
-                let cname = dec.string()?;
-                let dtype = dtype_from(dec.u8()?)?;
-                let nullable = dec.u8()? != 0;
-                cols.push(Column { name: cname, dtype, nullable });
-            }
-            let arity = cols.len();
-            db.create_table(name.clone(), TableSchema::new(cols))?;
-            // Indexes: recorded now, created after rows are inserted so
-            // unique indexes validate the loaded data once.
-            let n_idx = dec.u32()?;
-            let mut idx_defs = Vec::with_capacity(n_idx as usize);
-            for _ in 0..n_idx {
-                let iname = dec.string()?;
-                let unique = dec.u8()? != 0;
-                let n_keys = dec.u32()?;
-                let mut keys = Vec::with_capacity(n_keys as usize);
-                for _ in 0..n_keys {
-                    keys.push(dec.u32()? as usize);
-                }
-                idx_defs.push((iname, unique, keys));
-            }
-            let n_rows = dec.u64()?;
-            {
-                let t = db.table(&name)?;
-                let mut guard = t.write();
-                for _ in 0..n_rows {
-                    let mut row = Vec::with_capacity(arity);
-                    for _ in 0..arity {
-                        row.push(dec.value()?);
-                    }
-                    guard.insert(row)?;
-                }
-                for (iname, unique, keys) in idx_defs {
-                    guard.create_index(iname, keys, unique)?;
-                }
-            }
-        }
-        load_clobs(&db.clobs, &mut dec)?;
-        Ok(db)
+    /// Serialize the snapshot to a byte buffer (used by checkpoints).
+    pub(crate) fn snapshot_bytes(&self, lsn: u64) -> Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        self.write_snapshot(&mut buf, lsn)?;
+        Ok(buf)
     }
+}
+
+/// Parse snapshot bytes into a fresh (non-durable) database plus the
+/// stamped LSN. Recovery attaches the WAL afterwards.
+pub(crate) fn load_snapshot_bytes(bytes: &[u8]) -> Result<(Database, u64)> {
+    read_snapshot(bytes)
+}
+
+fn read_snapshot<R: Read>(r: R) -> Result<(Database, u64)> {
+    let mut cr = CrcReader { inner: r, crc: 0xFFFF_FFFF };
+    let parsed = read_snapshot_body(&mut cr)?;
+    let digest = cr.crc ^ 0xFFFF_FFFF;
+    let mut trailer = [0u8; 4];
+    cr.inner
+        .read_exact(&mut trailer)
+        .map_err(|_| DbError::Parse("snapshot: missing checksum trailer".into()))?;
+    if u32::from_le_bytes(trailer) != digest {
+        return Err(DbError::Corrupt("snapshot: checksum mismatch".into()));
+    }
+    Ok(parsed)
+}
+
+fn read_snapshot_body<R: Read>(r: R) -> Result<(Database, u64)> {
+    let mut dec = Dec { r };
+    let mut magic = [0u8; 4];
+    dec.r.read_exact(&mut magic).map_err(io_err)?;
+    if &magic != MAGIC {
+        return Err(DbError::Parse("snapshot: bad magic".into()));
+    }
+    let version = dec.u32()?;
+    if version != VERSION {
+        return Err(DbError::Parse(format!("snapshot: unsupported version {version}")));
+    }
+    let lsn = dec.u64()?;
+    let db = Database::new();
+    let n_tables = dec.u32()?;
+    for _ in 0..n_tables {
+        let name = dec.string()?;
+        let n_cols = dec.u32()?;
+        let mut cols = Vec::with_capacity(cap(n_cols as usize));
+        for _ in 0..n_cols {
+            let cname = dec.string()?;
+            let dtype = dtype_from(dec.u8()?)?;
+            let nullable = dec.u8()? != 0;
+            cols.push(Column { name: cname, dtype, nullable });
+        }
+        let arity = cols.len();
+        db.create_table(name.clone(), TableSchema::new(cols))?;
+        // Indexes: recorded now, created after rows are inserted so
+        // unique indexes validate the loaded data once.
+        let n_idx = dec.u32()?;
+        let mut idx_defs = Vec::with_capacity(cap(n_idx as usize));
+        for _ in 0..n_idx {
+            let iname = dec.string()?;
+            let unique = dec.u8()? != 0;
+            let n_keys = dec.u32()?;
+            let mut keys = Vec::with_capacity(cap(n_keys as usize));
+            for _ in 0..n_keys {
+                keys.push(dec.u32()? as usize);
+            }
+            idx_defs.push((iname, unique, keys));
+        }
+        let n_rows = dec.u64()?;
+        {
+            let t = db.table(&name)?;
+            let mut guard = t.write();
+            for _ in 0..n_rows {
+                let mut row = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    row.push(dec.value()?);
+                }
+                guard.insert(row)?;
+            }
+            for (iname, unique, keys) in idx_defs {
+                guard.create_index(iname, keys, unique)?;
+            }
+        }
+    }
+    load_clobs(&db.clobs, &mut dec)?;
+    Ok((db, lsn))
 }
 
 fn save_clobs<W: Write>(clobs: &ClobStore, enc: &mut Enc<W>) -> Result<()> {

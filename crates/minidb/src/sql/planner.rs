@@ -471,8 +471,7 @@ pub fn execute_stmt(db: &Database, stmt: &Stmt) -> Result<ResultSet> {
                     Some(positions)
                 }
             };
-            let mut guard = t.write();
-            let mut n = 0;
+            let mut actual_rows = Vec::with_capacity(rows.len());
             for row in rows {
                 let actual: Vec<Value> = match &reorder {
                     None => row.clone(),
@@ -491,9 +490,11 @@ pub fn execute_stmt(db: &Database, stmt: &Stmt) -> Result<ResultSet> {
                         out
                     }
                 };
-                guard.insert(actual)?;
-                n += 1;
+                actual_rows.push(actual);
             }
+            drop(t);
+            // Route through the database so durable mode logs the rows.
+            let n = db.insert(table, actual_rows)? as i64;
             Ok(ResultSet { columns: vec!["inserted".into()], rows: vec![vec![Value::Int(n)]] })
         }
         Stmt::Update { table, sets, where_ } => {
@@ -516,44 +517,21 @@ pub fn execute_stmt(db: &Database, stmt: &Stmt) -> Result<ResultSet> {
                 None => None,
                 Some(w) => Some(bind(w, &scope)?),
             };
-            let bound_sets: Vec<Expr> =
-                sets.iter().map(|(_, e)| bind(e, &scope)).collect::<Result<_>>()?;
-            let mut guard = t.write();
-            let victims: Vec<crate::table::RowId> = guard
-                .scan()
-                .filter_map(|(rid, row)| match &pred {
-                    None => Some(Ok(rid)),
-                    Some(p) => match p.matches(row) {
-                        Ok(true) => Some(Ok(rid)),
-                        Ok(false) => None,
-                        Err(e) => Some(Err(e)),
-                    },
-                })
+            let bound_sets: Vec<(usize, Expr)> = positions
+                .iter()
+                .zip(sets.iter())
+                .map(|(&pos, (_, e))| bind(e, &scope).map(|b| (pos, b)))
                 .collect::<Result<_>>()?;
-            let mut n = 0i64;
-            for rid in victims {
-                let new_values: Vec<Value> = {
-                    let row = guard.get(rid).expect("victim row is live").clone();
-                    bound_sets.iter().map(|e| e.eval(&row)).collect::<Result<_>>()?
-                };
-                guard.update(rid, |row| {
-                    for (&pos, v) in positions.iter().zip(new_values) {
-                        row[pos] = v;
-                    }
-                })?;
-                n += 1;
-            }
+            drop(t);
+            // Route through the database so durable mode logs the update.
+            let n = db.update_where(table, pred.as_ref(), &bound_sets)? as i64;
             Ok(ResultSet { columns: vec!["updated".into()], rows: vec![vec![Value::Int(n)]] })
         }
         Stmt::Delete { table, where_ } => {
             let n = match where_ {
-                None => {
-                    let t = db.table(table)?;
-                    let mut guard = t.write();
-                    let n = guard.len();
-                    guard.truncate();
-                    n
-                }
+                // Unqualified DELETE routes through the database so
+                // durable mode logs the truncation.
+                None => db.truncate_table(table)?,
                 Some(w) => {
                     let t = db.table(table)?;
                     let scope = {

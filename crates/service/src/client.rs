@@ -141,6 +141,17 @@ impl CatalogClient {
             .collect())
     }
 
+    /// Ask a durable server to checkpoint: flush pending commits and
+    /// compact the write-ahead log into a snapshot. Returns the
+    /// checkpointed LSN; errors if the server's catalog is in-memory.
+    pub fn checkpoint(&mut self) -> Result<u64> {
+        writeln!(self.writer, "CHECKPOINT")?;
+        let rest = self.read_status()?;
+        rest.strip_prefix("lsn=")
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad checkpoint reply {rest:?}")))
+    }
+
     /// Dump the server's slow-query ring, one event per line.
     pub fn slowlog(&mut self) -> Result<String> {
         writeln!(self.writer, "SLOWLOG")?;

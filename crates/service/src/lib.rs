@@ -17,9 +17,18 @@
 //! FETCH <id>[,<id>...]                  → OK <len>\n<len bytes of XML>
 //! SEARCH <query-dsl>                    → OK <len>\n<results envelope>
 //! STATS                                 → OK objects=<n> attrs=<n> ...
+//! CHECKPOINT                            → OK lsn=<n>
 //! PING                                  → OK pong
 //! QUIT                                  → OK bye (connection closes)
 //! ```
+//!
+//! Serve a catalog opened with [`catalog::catalog::MetadataCatalog::open`]
+//! and every acked `INGEST`/`ADD` is crash-safe: it has committed
+//! through the write-ahead log before the `OK` goes out. `CHECKPOINT`
+//! compacts the log into a snapshot; restarting a server on the same
+//! directory recovers the snapshot plus the committed WAL tail
+//! (`wal.recovered_records` in `STATS` shows how many records
+//! replayed).
 //!
 //! Errors come back as `ERR <message>`. The query DSL is
 //! [`catalog::qparse`]'s language, e.g.

@@ -107,6 +107,7 @@ fn op_metric_names(cmd: &str) -> (&'static str, &'static str) {
         "SEARCH" => ("service.requests.search", "service.request.search"),
         "STATS" => ("service.requests.stats", "service.request.stats"),
         "SLOWLOG" => ("service.requests.slowlog", "service.request.slowlog"),
+        "CHECKPOINT" => ("service.requests.checkpoint", "service.request.checkpoint"),
         _ => ("service.requests.unknown", "service.request.unknown"),
     }
 }
@@ -243,6 +244,10 @@ fn serve_connection(stream: TcpStream, catalog: &MetadataCatalog) -> std::io::Re
                 }
                 writeln!(writer, "{out}")?;
             }
+            "CHECKPOINT" => match catalog.checkpoint() {
+                Ok(lsn) => writeln!(writer, "OK lsn={lsn}")?,
+                Err(e) => err_reply(&mut writer, &e.to_string())?,
+            },
             "SLOWLOG" => {
                 if rest.is_empty() {
                     let mut out = String::new();

@@ -9,7 +9,10 @@
 //! - [`minidb`] — the embedded relational engine;
 //! - [`baselines`] — the comparison backends (single-CLOB, DOM store,
 //!   edge table, shared inlining, document-level ordering);
-//! - [`workload`] — seeded LEAD-shaped corpus and query generators.
+//! - [`workload`] — seeded LEAD-shaped corpus and query generators;
+//! - [`service`] — the grid-service deployment surface (TCP server +
+//!   client speaking a small line protocol);
+//! - [`obs`] — the metrics/tracing registry everything reports into.
 //!
 //! ```
 //! use mylead::catalog::prelude::*;
@@ -25,5 +28,7 @@
 pub use baselines;
 pub use catalog;
 pub use minidb;
+pub use obs;
+pub use service;
 pub use workload;
 pub use xmlkit;

@@ -114,6 +114,65 @@ fn deletion_keeps_catalog_consistent() {
 }
 
 #[test]
+fn service_restart_recovers_acked_ingests_from_wal() {
+    use mylead::catalog::lead::{lead_partition, register_arps_defs, FIG3_DOCUMENT};
+    use mylead::service::{CatalogClient, CatalogServer};
+    use std::sync::Arc;
+
+    let dir = std::env::temp_dir().join(format!("mylead-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // First server generation: durable catalog, ingest over the wire,
+    // no checkpoint — then kill the server.
+    let cat = mylead::catalog::catalog::MetadataCatalog::open(
+        &dir,
+        lead_partition(),
+        CatalogConfig::default(),
+    )
+    .unwrap();
+    register_arps_defs(&cat).unwrap();
+    let mut server = CatalogServer::start(Arc::new(cat), "127.0.0.1:0").unwrap();
+    let mut client = CatalogClient::connect(server.addr()).unwrap();
+    let mut ids = Vec::new();
+    for _ in 0..6 {
+        ids.push(client.ingest(FIG3_DOCUMENT).unwrap());
+    }
+    client.quit().unwrap();
+    server.stop();
+    drop(server);
+
+    // Second generation on the same directory: everything acked before
+    // the kill must come back, replayed through the WAL.
+    let cat = mylead::catalog::catalog::MetadataCatalog::open(
+        &dir,
+        lead_partition(),
+        CatalogConfig::default(),
+    )
+    .unwrap();
+    let server = CatalogServer::start(Arc::new(cat), "127.0.0.1:0").unwrap();
+    let mut client = CatalogClient::connect(server.addr()).unwrap();
+    let stats = client.stats().unwrap();
+    let recovered = stats
+        .iter()
+        .find(|(k, _)| k == "wal.recovered_records")
+        .map(|(_, v)| *v)
+        .unwrap_or(0);
+    assert!(recovered > 0, "STATS must report WAL records replayed, got {stats:?}");
+    assert_eq!(client.query("grid@ARPS[dx=1000]").unwrap(), ids);
+    let envelope = client.fetch(&ids).unwrap();
+    assert_eq!(envelope.matches("<LEADresource>").count(), ids.len());
+    // New writes keep flowing through the recovered log, and an
+    // explicit CHECKPOINT compacts it.
+    let id7 = client.ingest(FIG3_DOCUMENT).unwrap();
+    assert_eq!(id7, ids[ids.len() - 1] + 1);
+    let lsn = client.checkpoint().unwrap();
+    assert!(lsn > 0, "checkpoint must cover the committed log");
+    client.quit().unwrap();
+    drop(server);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn envelope_of_generated_corpus_parses() {
     let generator = DocGenerator::new(WorkloadConfig::default());
     let cat = generator.catalog(CatalogConfig::default()).unwrap();
