@@ -369,17 +369,7 @@ impl MetadataCatalog {
     /// schema-level global ordering means no per-document renumbering
     /// (the E7 ablation measures the alternative).
     pub fn add_attribute(&self, object_id: i64, fragment_xml: &str) -> Result<()> {
-        let exists = !self
-            .db
-            .execute(&Plan::Scan {
-                table: "objects".into(),
-                filter: Some(Expr::col_eq(0, object_id)),
-            })?
-            .rows
-            .is_empty();
-        if !exists {
-            return Err(CatalogError::NoSuchObject(object_id));
-        }
+        // Parse and resolve the fragment before taking any write lock.
         let doc = Document::parse(fragment_xml)?;
         let tag = doc.node(doc.root()).name().unwrap_or("").to_string();
         let schema = self.partition.schema();
@@ -392,12 +382,32 @@ impl MetadataCatalog {
             .ok_or_else(|| {
                 CatalogError::BadQuery(format!("{tag} is not a metadata attribute of this schema"))
             })?;
+        // One transaction for the whole read-modify-write: the
+        // existence check and sequence seeds are read through the
+        // transaction (which owns the visibility gate), so two
+        // concurrent ADDs to the same object cannot both read the same
+        // seed and collide, and no reader sees the fragment half
+        // applied. Lock order: defs before the transaction's WAL +
+        // visibility locks — `register_dynamic` holds the defs write
+        // lock while it syncs the definition mirror through its own
+        // transaction, so acquiring defs after `txn()` would deadlock.
+        let defs = self.defs.read();
+        let mut txn = self.db.txn();
+        let exists = !txn
+            .execute(&Plan::Scan {
+                table: "objects".into(),
+                filter: Some(Expr::col_eq(0, object_id)),
+            })?
+            .rows
+            .is_empty();
+        if !exists {
+            return Err(CatalogError::NoSuchObject(object_id));
+        }
         // Seed same-sibling counters from the object's current rows so
         // the new instance continues the sequence.
         let mut seq_seed: std::collections::HashMap<crate::defs::AttrId, i64> =
             std::collections::HashMap::new();
-        for row in self
-            .db
+        for row in txn
             .execute(&Plan::Scan {
                 table: "attrs".into(),
                 filter: Some(Expr::col_eq(0, object_id)),
@@ -411,8 +421,7 @@ impl MetadataCatalog {
         }
         let mut clob_seed: std::collections::HashMap<crate::ordering::OrderId, i64> =
             std::collections::HashMap::new();
-        for row in self
-            .db
+        for row in txn
             .execute(&Plan::Scan {
                 table: "clobs".into(),
                 filter: Some(Expr::col_eq(0, object_id)),
@@ -424,7 +433,6 @@ impl MetadataCatalog {
                 *e = (*e).max(cs);
             }
         }
-        let defs = self.defs.read();
         let shredder = Shredder::new(
             &self.partition,
             &self.ordering,
@@ -433,7 +441,6 @@ impl MetadataCatalog {
         );
         let shredded = shredder.shred_fragment(&doc, &defs, snode, seq_seed, clob_seed)?;
         drop(defs);
-        let mut txn = self.db.txn();
         Self::apply_rows(&mut txn, object_id, &shredded)?;
         txn.commit()?;
         Ok(())
@@ -581,8 +588,11 @@ impl MetadataCatalog {
 
     /// Remove an object and all its stored metadata.
     pub fn delete_object(&self, object_id: i64) -> Result<()> {
-        let exists = !self
-            .db
+        // Existence check inside the transaction: the check and the
+        // deletes are one atomic unit, so concurrent deleters race on
+        // the gate, not on a stale check.
+        let mut txn = self.db.txn();
+        let exists = !txn
             .execute(&Plan::Scan {
                 table: "objects".into(),
                 filter: Some(Expr::col_eq(0, object_id)),
@@ -592,7 +602,6 @@ impl MetadataCatalog {
         if !exists {
             return Err(CatalogError::NoSuchObject(object_id));
         }
-        let mut txn = self.db.txn();
         for table in ["objects", "attrs", "elems", "attr_anc", "clobs"] {
             txn.delete_where(table, &Expr::col_eq(0, object_id))?;
         }
@@ -614,15 +623,18 @@ impl MetadataCatalog {
         self.db.checkpoint().map_err(Into::into)
     }
 
-    /// Aggregate statistics.
+    /// Aggregate statistics. All row counts are taken under one read
+    /// transaction, so they describe a single committed state — an
+    /// in-flight ingest is either fully counted or not at all.
     pub fn stats(&self) -> CatalogStats {
         let defs = self.defs.read();
+        let rt = self.db.begin_read();
         CatalogStats {
-            objects: self.db.row_count("objects").unwrap_or(0),
-            attr_rows: self.db.row_count("attrs").unwrap_or(0),
-            elem_rows: self.db.row_count("elems").unwrap_or(0),
-            ancestor_rows: self.db.row_count("attr_anc").unwrap_or(0),
-            clob_count: self.db.row_count("clobs").unwrap_or(0),
+            objects: rt.row_count("objects").unwrap_or(0),
+            attr_rows: rt.row_count("attrs").unwrap_or(0),
+            elem_rows: rt.row_count("elems").unwrap_or(0),
+            ancestor_rows: rt.row_count("attr_anc").unwrap_or(0),
+            clob_count: rt.row_count("clobs").unwrap_or(0),
             clob_bytes: self.db.clobs.total_bytes(),
             attr_defs: defs.attrs().len(),
             elem_defs: defs.elems().len(),

@@ -33,13 +33,17 @@ pub fn build_documents(db: &Database, object_ids: &[i64]) -> Result<Vec<(i64, St
     if object_ids.is_empty() {
         return Ok(Vec::new());
     }
+    // All plans (and the final CLOB byte resolution) run under one read
+    // transaction: a concurrent ingest or delete commits either before
+    // or after the whole reconstruction, never between its steps.
+    let rt = db.begin_read();
     // Step 1: CLOB index rows for the result set (locators, not bytes),
     // fetched through the clobs_by_obj index one object at a time so a
     // small result set never scans the whole CLOB index.
     // clobs: object_id=0 attr_id=1 schema_order=2 clob_seq=3 clob=4
     let mut clob_index_rows: Vec<Vec<Value>> = Vec::new();
     for &id in object_ids {
-        let rs = db.execute(&Plan::IndexLookup {
+        let rs = rt.execute(&Plan::IndexLookup {
             table: "clobs".into(),
             index: "clobs_by_obj".into(),
             key: vec![Value::Int(id)],
@@ -123,10 +127,10 @@ pub fn build_documents(db: &Database, object_ids: &[i64]) -> Result<Vec<(i64, St
 
     // Union the three fragment relations and sort: the database returns
     // the response already tagged and ordered.
-    let mut all = db.execute(&opens)?;
-    let more = db.execute(&closes)?;
+    let mut all = rt.execute(&opens)?;
+    let more = rt.execute(&closes)?;
     all.rows.extend(more.rows);
-    let clobs_rs = db.execute(&clob_frags)?;
+    let clobs_rs = rt.execute(&clob_frags)?;
     all.rows.extend(clobs_rs.rows);
     all.rows.sort_by(|a, b| {
         // (object_id, major, kind, minor)

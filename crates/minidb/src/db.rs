@@ -6,6 +6,19 @@
 //! locks only while materializing scans, so concurrent queries scale
 //! and writers block only the tables they touch — this is what
 //! experiment E8 measures.
+//!
+//! On top of the per-table locks sits a *commit-visibility gate*: every
+//! [`Txn`] holds the gate exclusively from its first mutation to its
+//! commit, and every plan execution (or [`Database::begin_read`]
+//! batch) holds it shared. A transaction that touches several tables
+//! therefore becomes visible to readers *atomically at commit* — a
+//! concurrent query can never observe a half-applied multi-table write
+//! (e.g. an object row whose attribute rows are still being inserted).
+//! Committed transactions publish a monotonically increasing
+//! *watermark* ([`Database::commit_watermark`]) that readers can use
+//! to tell snapshots apart. Lock order is always
+//! `WAL writer → visibility gate → table map → tables`, so the gate
+//! adds no deadlock edge.
 
 use crate::clob::ClobStore;
 use crate::error::{DbError, Result};
@@ -19,9 +32,10 @@ use crate::wal::{
     encode_wal_header, scan_wal, StdVfs, Vfs, WalOptions, WalRecord, WalWriter, SNAPSHOT_FILE,
     SNAPSHOT_TMP, WAL_FILE, WAL_TMP,
 };
-use parking_lot::{Mutex, MutexGuard, RwLock};
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -228,6 +242,14 @@ pub struct Database {
     pub clobs: ClobStore,
     /// `Some` when opened durably; `None` for plain in-memory use.
     dur: Option<Durability>,
+    /// Commit-visibility gate (see the module docs): held exclusively
+    /// by each [`Txn`] for its whole life, shared by every reader, so
+    /// multi-table writes become visible atomically at commit.
+    vis: RwLock<()>,
+    /// Count of committed transactions, published under the gate's
+    /// exclusive hold — two reads observing the same watermark saw the
+    /// same committed prefix of writes.
+    watermark: AtomicU64,
 }
 
 impl Database {
@@ -320,6 +342,7 @@ impl Database {
     /// images, which makes this a deep-equality probe for recovery
     /// tests and replica divergence checks.
     pub fn state_image(&self) -> Result<Vec<u8>> {
+        let _gate = self.vis.read();
         self.snapshot_bytes(0)
     }
 
@@ -327,10 +350,31 @@ impl Database {
     /// durable by [`Txn::commit`]. On a durable database this takes
     /// the WAL writer lock for the whole transaction (transactions are
     /// serialized); on an in-memory database the ops apply directly
-    /// and commit is a no-op, so callers can use one code path.
+    /// and commit only publishes visibility, so callers can use one
+    /// code path. Every transaction — durable or not — holds the
+    /// commit-visibility gate exclusively until it is committed or
+    /// dropped, so concurrent readers never observe a partially
+    /// applied batch.
     pub fn txn(&self) -> Txn<'_> {
         let wal = self.dur.as_ref().map(|d| d.writer.lock());
-        Txn { db: self, wal, pending: Vec::new() }
+        let vis = self.vis.write();
+        Txn { db: self, wal, _vis: vis, pending: Vec::new(), dirty: false }
+    }
+
+    /// Begin a read batch: every plan executed through the returned
+    /// [`ReadTxn`] sees the *same* committed state — no transaction can
+    /// commit between the batch's executions. Use this when one logical
+    /// read spans several plans (e.g. response reconstruction).
+    pub fn begin_read(&self) -> ReadTxn<'_> {
+        let gate = self.vis.read();
+        ReadTxn { db: self, _gate: gate }
+    }
+
+    /// Number of committed transactions. Monotonic; bumped under the
+    /// visibility gate's exclusive hold, so two gated reads observing
+    /// the same watermark saw identical committed state.
+    pub fn commit_watermark(&self) -> u64 {
+        self.watermark.load(AtomicOrdering::SeqCst)
     }
 
     /// Checkpoint a durable database: write a snapshot stamped with the
@@ -572,8 +616,11 @@ impl Database {
         rows + self.clobs.total_bytes()
     }
 
-    /// Execute a physical plan to a materialized result.
+    /// Execute a physical plan to a materialized result. The whole
+    /// execution runs under the commit-visibility gate: the plan sees
+    /// one committed state even when it reads several tables.
     pub fn execute(&self, plan: &Plan) -> Result<ResultSet> {
+        let _gate = self.vis.read();
         self.exec_node(plan, &mut None, &mut Vec::new(), ExecCtx::serial())
     }
 
@@ -583,6 +630,7 @@ impl Database {
     /// queries whose plans contain data-independent subtrees, such as
     /// the catalog's per-criterion match branches.
     pub fn execute_parallel(&self, plan: &Plan) -> Result<ResultSet> {
+        let _gate = self.vis.read();
         self.exec_node(plan, &mut None, &mut Vec::new(), ExecCtx::parallel())
     }
 
@@ -592,6 +640,7 @@ impl Database {
     /// ([`crate::explain::explain_analyze`]). Profiled runs are always
     /// sequential so that per-branch timings are attributable.
     pub fn execute_profiled(&self, plan: &Plan) -> Result<(ResultSet, PlanProfile)> {
+        let _gate = self.vis.read();
         let mut prof = Some(PlanProfile::default());
         let rs = self.exec_node(plan, &mut prof, &mut Vec::new(), ExecCtx::serial())?;
         Ok((rs, prof.expect("profiler installed above")))
@@ -1082,19 +1131,34 @@ impl Drop for Database {
 /// On a durable database the transaction holds the WAL writer lock
 /// for its whole lifetime, serializing writers; this is what makes
 /// log order equal apply order (and CLOB locator assignment replay
-/// deterministically). On an in-memory database all methods are plain
-/// passthroughs.
+/// deterministically). Durable or not, the transaction also holds the
+/// database's commit-visibility gate exclusively, so plan-executing
+/// readers are excluded from its first mutation until commit — they
+/// see either none of the batch or all of it, never a torn middle.
 pub struct Txn<'a> {
     db: &'a Database,
     wal: Option<MutexGuard<'a, WalWriter>>,
+    _vis: RwLockWriteGuard<'a, ()>,
     pending: Vec<WalRecord>,
+    dirty: bool,
 }
 
 impl Txn<'_> {
     fn log(&mut self, rec: impl FnOnce() -> WalRecord) {
+        self.dirty = true;
         if self.wal.is_some() {
             self.pending.push(rec());
         }
+    }
+
+    /// Execute a read plan *inside* the transaction: the result
+    /// reflects the transaction's own uncommitted mutations. Because
+    /// the transaction already owns the visibility gate exclusively,
+    /// this is how read-modify-write sequences (look up current
+    /// sequence numbers, then insert) stay atomic with respect to
+    /// concurrent writers.
+    pub fn execute(&self, plan: &Plan) -> Result<ResultSet> {
+        self.db.exec_node(plan, &mut None, &mut Vec::new(), ExecCtx::serial())
     }
 
     /// Create a table (see [`Database::create_table`]).
@@ -1192,6 +1256,7 @@ impl Txn<'_> {
 
     /// Store a CLOB, returning its locator.
     pub fn put_clob(&mut self, data: Vec<u8>) -> u64 {
+        self.dirty = true;
         if self.wal.is_some() {
             let loc = self.db.clobs.put(data.clone());
             self.pending.push(WalRecord::ClobPut { data });
@@ -1201,15 +1266,54 @@ impl Txn<'_> {
         }
     }
 
-    /// Make the batch durable. No-op on an in-memory database or an
-    /// empty transaction.
+    /// Make the batch durable and visible: append + fsync the WAL
+    /// records (durable databases), then publish the new commit
+    /// watermark while still holding the visibility gate, so readers
+    /// observe the whole batch and the bumped watermark together.
     pub fn commit(mut self) -> Result<()> {
         if let Some(w) = self.wal.as_mut() {
             if !self.pending.is_empty() {
                 w.commit(&self.pending)?;
             }
         }
+        if self.dirty {
+            self.db.watermark.fetch_add(1, AtomicOrdering::SeqCst);
+            obs::global().counter("minidb.txn.commits").incr();
+        }
         Ok(())
+    }
+}
+
+/// A batch of reads sharing one committed snapshot (see
+/// [`Database::begin_read`]). Holds the commit-visibility gate shared
+/// for its whole life: transactions can neither start applying nor
+/// commit while the batch is open, so every plan executed through it
+/// observes the same committed state.
+pub struct ReadTxn<'a> {
+    db: &'a Database,
+    _gate: RwLockReadGuard<'a, ()>,
+}
+
+impl ReadTxn<'_> {
+    /// Execute a plan against the batch's snapshot.
+    pub fn execute(&self, plan: &Plan) -> Result<ResultSet> {
+        self.db.exec_node(plan, &mut None, &mut Vec::new(), ExecCtx::serial())
+    }
+
+    /// [`ReadTxn::execute`] with parallel evaluation of independent
+    /// join sides (see [`Database::execute_parallel`]).
+    pub fn execute_parallel(&self, plan: &Plan) -> Result<ResultSet> {
+        self.db.exec_node(plan, &mut None, &mut Vec::new(), ExecCtx::parallel())
+    }
+
+    /// Number of live rows in a table, as of the batch's snapshot.
+    pub fn row_count(&self, table: &str) -> Result<usize> {
+        Ok(self.db.table(table)?.read().len())
+    }
+
+    /// The commit watermark this batch reads at.
+    pub fn watermark(&self) -> u64 {
+        self.db.commit_watermark()
     }
 }
 

@@ -13,6 +13,10 @@ pub enum ClientError {
     Server(String),
     /// The server's reply did not match the protocol.
     Protocol(String),
+    /// The server closed the connection where a reply was expected
+    /// (server shutdown, worker crash, or a `busy` rejection race) —
+    /// distinct from [`ClientError::Protocol`] so callers can retry.
+    Eof,
 }
 
 impl fmt::Display for ClientError {
@@ -21,6 +25,7 @@ impl fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "io error: {e}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Eof => write!(f, "connection closed by server"),
         }
     }
 }
@@ -50,9 +55,31 @@ impl CatalogClient {
         Ok(CatalogClient { reader: BufReader::new(stream.try_clone()?), writer: stream })
     }
 
+    /// Connect with read/write timeouts, so a stalled or overloaded
+    /// server surfaces as [`ClientError::Io`] (`WouldBlock`/`TimedOut`)
+    /// instead of hanging the caller forever.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: std::time::Duration,
+    ) -> Result<CatalogClient> {
+        let mut client = Self::connect(addr)?;
+        client.set_timeouts(Some(timeout))?;
+        Ok(client)
+    }
+
+    /// Set (or with `None`, clear) both the read and write timeout on
+    /// the underlying socket.
+    pub fn set_timeouts(&mut self, timeout: Option<std::time::Duration>) -> Result<()> {
+        self.writer.set_read_timeout(timeout)?;
+        self.writer.set_write_timeout(timeout)?;
+        Ok(())
+    }
+
     fn read_status(&mut self) -> Result<String> {
         let mut line = String::new();
-        self.reader.read_line(&mut line)?;
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Eof);
+        }
         let line = line.trim_end();
         if let Some(rest) = line.strip_prefix("OK") {
             Ok(rest.trim_start().to_string())

@@ -33,11 +33,19 @@
 //! Errors come back as `ERR <message>`. The query DSL is
 //! [`catalog::qparse`]'s language, e.g.
 //! `grid@ARPS[dx=1000]{grid-stretching@ARPS[dzmin=100]}`.
+//!
+//! ## Service limits
+//!
+//! Connections are served by a bounded worker pool ([`ServerConfig`]:
+//! 8 workers, 32-deep accept queue by default). When all workers are
+//! busy and the queue is full, new connections get `ERR busy` and are
+//! closed — clients should back off and retry. Request bodies are
+//! capped at 16 MiB.
 
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod server;
 
-pub use client::CatalogClient;
-pub use server::CatalogServer;
+pub use client::{CatalogClient, ClientError};
+pub use server::{CatalogServer, ServerConfig};

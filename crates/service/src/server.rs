@@ -1,76 +1,209 @@
 //! Threaded TCP server exposing a [`MetadataCatalog`].
 //!
+//! Connections are served by a **bounded worker pool** (see
+//! [`ServerConfig`]): the accept loop enqueues each accepted socket on
+//! a fixed-depth queue and a fixed set of worker threads drain it. When
+//! every worker is busy and the queue is full, the connection is
+//! rejected immediately with `ERR busy` — backpressure instead of
+//! unbounded thread growth.
+//!
 //! Every request is instrumented through [`obs::global`]: request
 //! counters and latency histograms per operation
 //! (`service.requests.<op>`, `service.request.<op>`), error counters
 //! by kind (`service.errors.{malformed, oversized, catalog,
-//! connection, unknown}`), body-byte accounting, and an in-flight
-//! connection gauge. `STATS` returns the full registry snapshot;
-//! `SLOWLOG` reads (and `SLOWLOG <ms>` configures) the slow-query
-//! ring.
+//! connection, unknown}`), body-byte accounting, an in-flight
+//! connection gauge, and pool health (`service.pool.size`,
+//! `service.pool.busy`, `service.pool.queue_depth` gauges;
+//! `service.pool.dispatched`, `service.pool.rejected`,
+//! `service.pool.panics` counters). `STATS` returns the full registry
+//! snapshot; `SLOWLOG` reads (and `SLOWLOG <ms>` configures) the
+//! slow-query ring.
 
 use catalog::catalog::MetadataCatalog;
 use catalog::qparse::parse_query;
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Upper bound on request bodies (16 MiB — grid metadata documents are
 /// small; this guards against malformed length prefixes).
 const MAX_BODY: usize = 16 << 20;
 
+/// Worker-pool sizing for [`CatalogServer::start_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Number of worker threads; each serves one connection at a time,
+    /// so this bounds concurrent in-flight connections.
+    pub workers: usize,
+    /// Accepted connections waiting for a free worker. When the queue
+    /// is full the server replies `ERR busy` and closes the socket.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { workers: 8, queue_depth: 32 }
+    }
+}
+
+/// Accept queue shared between the listener and the workers.
+struct Pool {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    stop: AtomicBool,
+}
+
+impl Pool {
+    /// Enqueue an accepted socket; a full queue hands the socket back
+    /// so the caller can reject the connection.
+    fn push(&self, stream: TcpStream, depth: usize) -> std::result::Result<(), TcpStream> {
+        let mut q = self.queue.lock().expect("pool queue poisoned");
+        if q.len() >= depth {
+            return Err(stream);
+        }
+        q.push_back(stream);
+        obs::global().gauge("service.pool.queue_depth").set(q.len() as i64);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Block until a connection is available or the pool is stopping.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut q = self.queue.lock().expect("pool queue poisoned");
+        loop {
+            if let Some(stream) = q.pop_front() {
+                obs::global().gauge("service.pool.queue_depth").set(q.len() as i64);
+                return Some(stream);
+            }
+            if self.stop.load(Ordering::Relaxed) {
+                return None;
+            }
+            q = self.ready.wait(q).expect("pool queue poisoned");
+        }
+    }
+}
+
+/// Decrements the in-flight connection gauge on drop, so the count
+/// stays honest even when a request handler panics mid-connection.
+struct ConnGuard;
+
+impl ConnGuard {
+    fn new() -> ConnGuard {
+        obs::global().gauge("service.connections").add(1);
+        ConnGuard
+    }
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        obs::global().gauge("service.connections").add(-1);
+    }
+}
+
 /// A running catalog server.
 ///
-/// The listener thread accepts connections and spawns one worker thread
-/// per client; all workers share the catalog (its internal locks make
+/// The listener thread accepts connections and hands them to a bounded
+/// worker pool; all workers share the catalog (its internal locks make
 /// that safe). Dropping the handle (or calling [`CatalogServer::stop`])
-/// shuts the listener down.
+/// shuts the listener and the pool down.
 pub struct CatalogServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    pool: Arc<Pool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl CatalogServer {
-    /// Start serving `catalog` on `addr` (use port 0 for an ephemeral
-    /// port; the bound address is available via [`Self::addr`]).
+    /// Start serving `catalog` on `addr` with the default pool sizing
+    /// (use port 0 for an ephemeral port; the bound address is
+    /// available via [`Self::addr`]).
     pub fn start(catalog: Arc<MetadataCatalog>, addr: &str) -> std::io::Result<CatalogServer> {
+        Self::start_with(catalog, addr, ServerConfig::default())
+    }
+
+    /// Start serving with explicit worker-pool sizing.
+    pub fn start_with(
+        catalog: Arc<MetadataCatalog>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> std::io::Result<CatalogServer> {
         let listener = TcpListener::bind(addr)?;
         let bound = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let pool = Arc::new(Pool {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let workers = config.workers.max(1);
+        let reg = obs::global();
+        reg.gauge("service.pool.size").set(workers as i64);
+        reg.gauge("service.pool.queue_depth").set(0);
+
+        let mut worker_threads = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let pool = pool.clone();
+            let catalog = catalog.clone();
+            worker_threads.push(std::thread::spawn(move || {
+                while let Some(stream) = pool.pop() {
+                    let reg = obs::global();
+                    reg.counter("service.pool.dispatched").incr();
+                    reg.gauge("service.pool.busy").add(1);
+                    let guard = ConnGuard::new();
+                    let _ = stream.set_nodelay(true);
+                    // The connection gauge is released by `guard` and
+                    // the panic is contained, so one poisoned request
+                    // can neither leak the gauge nor kill the worker.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        serve_connection(stream, &catalog, &pool.stop)
+                    }));
+                    drop(guard);
+                    match outcome {
+                        // Connection-level I/O failures (torn reads,
+                        // resets, non-UTF-8 lines) are accounted, not
+                        // silently dropped.
+                        Ok(Err(_)) => reg.counter("service.errors.connection").incr(),
+                        Ok(Ok(())) => {}
+                        Err(_) => reg.counter("service.pool.panics").incr(),
+                    }
+                    reg.gauge("service.pool.busy").add(-1);
+                }
+            }));
+        }
+
         let stop2 = stop.clone();
+        let pool2 = pool.clone();
+        let queue_depth = config.queue_depth.max(1);
         // Nonblocking accept loop so `stop` is honored promptly.
         listener.set_nonblocking(true)?;
-        let accept_thread = std::thread::spawn(move || {
-            loop {
-                if stop2.load(Ordering::Relaxed) {
-                    break;
-                }
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let catalog = catalog.clone();
-                        std::thread::spawn(move || {
-                            let reg = obs::global();
-                            reg.gauge("service.connections").add(1);
-                            let _ = stream.set_nodelay(true);
-                            // Connection-level I/O failures (torn reads,
-                            // resets, non-UTF-8 lines) are accounted, not
-                            // silently dropped.
-                            if serve_connection(stream, &catalog).is_err() {
-                                reg.counter("service.errors.connection").incr();
-                            }
-                            reg.gauge("service.connections").add(-1);
-                        });
+        let accept_thread = std::thread::spawn(move || loop {
+            if stop2.load(Ordering::Relaxed) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if let Err(mut rejected) = pool2.push(stream, queue_depth) {
+                        obs::global().counter("service.pool.rejected").incr();
+                        let _ = writeln!(rejected, "ERR busy");
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(std::time::Duration::from_millis(5));
-                    }
-                    Err(_) => break,
                 }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                Err(_) => break,
             }
         });
-        Ok(CatalogServer { addr: bound, stop, accept_thread: Some(accept_thread) })
+        Ok(CatalogServer {
+            addr: bound,
+            stop,
+            pool,
+            accept_thread: Some(accept_thread),
+            workers: worker_threads,
+        })
     }
 
     /// The address the server is listening on.
@@ -78,11 +211,16 @@ impl CatalogServer {
         self.addr
     }
 
-    /// Stop accepting connections (existing connections finish their
-    /// current request).
+    /// Stop accepting connections, drain the queue, and join the
+    /// workers (existing connections finish their current request).
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.pool.stop.store(true, Ordering::Relaxed);
+        self.pool.ready.notify_all();
+        for t in self.workers.drain(..) {
             let _ = t.join();
         }
     }
@@ -112,16 +250,40 @@ fn op_metric_names(cmd: &str) -> (&'static str, &'static str) {
     }
 }
 
-fn serve_connection(stream: TcpStream, catalog: &MetadataCatalog) -> std::io::Result<()> {
+fn serve_connection(
+    stream: TcpStream,
+    catalog: &MetadataCatalog,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
     let reg = obs::global();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut line = String::new();
     loop {
         line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(()); // client hung up
+        // Idle reads poll with a short timeout so a shutting-down pool
+        // can reclaim workers parked on idle keep-alive connections.
+        // Partial lines accumulate in `line` across retries; once a
+        // full command line is in, the body read runs untimed.
+        writer.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) if line.is_empty() => return Ok(()), // client hung up
+                Ok(_) => break,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if stop.load(Ordering::Relaxed) {
+                        return Ok(());
+                    }
+                }
+                Err(e) => return Err(e),
+            }
         }
+        writer.set_read_timeout(None)?;
         let trimmed = line.trim_end();
         let (cmd, rest) = match trimmed.split_once(' ') {
             Some((c, r)) => (c, r),
@@ -338,4 +500,23 @@ fn read_body(
 
 fn one_line(s: &str) -> String {
     s.replace('\n', " ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ConnGuard;
+
+    /// The in-flight connection gauge must not leak when a request
+    /// handler panics: the drop guard decrements it during unwinding.
+    #[test]
+    fn connection_gauge_survives_panics() {
+        let gauge = obs::global().gauge("service.connections");
+        let before = gauge.get();
+        let outcome = std::panic::catch_unwind(|| {
+            let _guard = ConnGuard::new();
+            panic!("worker dies mid-request");
+        });
+        assert!(outcome.is_err());
+        assert_eq!(gauge.get(), before, "panic leaked the connection gauge");
+    }
 }
