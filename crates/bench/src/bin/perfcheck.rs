@@ -14,8 +14,9 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-/// One parsed entry: (style → (median_us, hits)) keyed by workload.
-type Entries = BTreeMap<String, BTreeMap<String, (f64, usize)>>;
+/// One parsed entry: (style → (median_us, p95_us, p99_us, hits))
+/// keyed by workload.
+type Entries = BTreeMap<String, BTreeMap<String, (f64, f64, f64, usize)>>;
 
 /// Minimal parser for the exact shape `render_perf_json` emits — one
 /// entry object per line. Anything surprising is a hard error: the file
@@ -36,15 +37,23 @@ fn parse(text: &str) -> Result<Entries, String> {
     for line in text.lines().filter(|l| l.trim_start().starts_with("{\"workload\"")) {
         let workload = field(line, "workload")?.to_string();
         let style = field(line, "style")?.to_string();
-        let median_us: f64 = field(line, "median_us")?
-            .parse()
-            .map_err(|e| format!("bad median_us in {line:?}: {e}"))?;
+        let num = |name: &str| -> Result<f64, String> {
+            let v: f64 =
+                field(line, name)?.parse().map_err(|e| format!("bad {name} in {line:?}: {e}"))?;
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("non-finite {name} in {line:?}"));
+            }
+            Ok(v)
+        };
+        let (median_us, p95_us, p99_us) = (num("median_us")?, num("p95_us")?, num("p99_us")?);
+        if p99_us < p95_us {
+            return Err(format!("p99 below p95 in {line:?}"));
+        }
         let hits: usize =
             field(line, "hits")?.parse().map_err(|e| format!("bad hits in {line:?}: {e}"))?;
-        if !(median_us.is_finite() && median_us >= 0.0) {
-            return Err(format!("non-finite median_us in {line:?}"));
-        }
-        out.entry(workload).or_default().insert(style, (median_us, hits));
+        out.entry(workload)
+            .or_default()
+            .insert(style, (median_us, p95_us, p99_us, hits));
     }
     if out.is_empty() {
         return Err("no perf entries found".into());
@@ -55,7 +64,7 @@ fn parse(text: &str) -> Result<Entries, String> {
 fn check(current: &Entries, baseline: Option<&Entries>, max_regress: f64) -> Vec<String> {
     let mut problems = Vec::new();
     for (workload, styles) in current {
-        let (Some(&(mat, mat_hits)), Some(&(semi, semi_hits))) =
+        let (Some(&(mat, _, _, mat_hits)), Some(&(semi, _, _, semi_hits))) =
             (styles.get("materialized"), styles.get("semijoin"))
         else {
             problems.push(format!("{workload}: missing a plan style ({:?})", styles.keys()));
@@ -71,7 +80,8 @@ fn check(current: &Entries, baseline: Option<&Entries>, max_regress: f64) -> Vec
             ));
         }
         if let Some(base) = baseline {
-            if let Some(&(base_semi, _)) = base.get(workload).and_then(|s| s.get("semijoin")) {
+            if let Some(&(base_semi, _, _, _)) = base.get(workload).and_then(|s| s.get("semijoin"))
+            {
                 if semi > base_semi * max_regress {
                     problems.push(format!(
                         "{workload}: semi-join {semi:.1}us regressed >{max_regress}x vs baseline {base_semi:.1}us"
@@ -130,11 +140,12 @@ fn main() -> ExitCode {
 
     let problems = check(&current, baseline.as_ref(), max_regress);
     for (workload, styles) in &current {
-        if let (Some((mat, _)), Some((semi, hits))) =
+        if let (Some((mat, _, _, _)), Some((semi, p95, p99, hits))) =
             (styles.get("materialized"), styles.get("semijoin"))
         {
             println!(
-                "{workload}: materialized {mat:.1}us, semi-join {semi:.1}us ({:.2}x), hits {hits}",
+                "{workload}: materialized {mat:.1}us, semi-join {semi:.1}us \
+                 (p95 {p95:.1}us, p99 {p99:.1}us, {:.2}x), hits {hits}",
                 mat / semi.max(1e-9)
             );
         }
@@ -162,12 +173,16 @@ mod tests {
                     workload: "w".into(),
                     style: "materialized".into(),
                     median_us: 100.0,
+                    p95_us: 130.0,
+                    p99_us: 150.0,
                     hits: 7,
                 },
                 benchkit::experiments::PerfEntry {
                     workload: "w".into(),
                     style: "semijoin".into(),
                     median_us: 40.0,
+                    p95_us: 55.0,
+                    p99_us: 62.0,
                     hits: 7,
                 },
             ],
@@ -177,7 +192,7 @@ mod tests {
     #[test]
     fn parses_renderer_output() {
         let entries = parse(&sample()).unwrap();
-        assert_eq!(entries["w"]["semijoin"], (40.0, 7));
+        assert_eq!(entries["w"]["semijoin"], (40.0, 55.0, 62.0, 7));
         assert!(check(&entries, None, 2.0).is_empty());
     }
 
@@ -186,6 +201,9 @@ mod tests {
         assert!(parse("{}").is_err());
         assert!(parse(&sample().replace("mylead-bench-perf/v1", "other")).is_err());
         assert!(parse(&sample().replace("40.000", "oops")).is_err());
+        // Tail fields are required and must be ordered.
+        assert!(parse(&sample().replace("\"p95_us\": 55.000", "\"p95_us\": 70.000")).is_err());
+        assert!(parse(&sample().replace(", \"p95_us\": 55.000", "")).is_err());
     }
 
     #[test]

@@ -437,6 +437,11 @@ pub struct PerfEntry {
     pub style: String,
     /// Median per-query latency in microseconds.
     pub median_us: f64,
+    /// 95th-percentile per-query latency in microseconds, over every
+    /// individually-timed query execution across all repetitions.
+    pub p95_us: f64,
+    /// 99th-percentile per-query latency in microseconds.
+    pub p99_us: f64,
     /// Total hits across the query batch (equal for both styles).
     pub hits: usize,
 }
@@ -464,7 +469,8 @@ pub fn perf(scale: Scale) -> Result<(Table, Vec<PerfEntry>)> {
         ("conjunctive-x4", default(), QueryShape::Conjunctive(4)),
         ("dyn-eq", default(), QueryShape::DynamicEq),
     ];
-    let mut t = Table::new(&["workload", "materialized", "semi-join", "speedup", "hits"]);
+    let mut t =
+        Table::new(&["workload", "materialized", "semi-join", "p95 / p99", "speedup", "hits"]);
     let mut entries = Vec::new();
     for (label, cfg, shape) in workloads {
         let generator = generator(cfg);
@@ -475,25 +481,45 @@ pub fn perf(scale: Scale) -> Result<(Table, Vec<PerfEntry>)> {
         let cat = hybrid.catalog();
         let queries = QueryGenerator::new(&generator, 1234).batch(shape, reps);
         let mut medians = [0f64; 2];
+        let mut tails = [(0f64, 0f64); 2];
         let mut style_hits = [0usize; 2];
         for (si, (sname, style)) in
             [("materialized", PlanStyle::Materialized), ("semijoin", PlanStyle::SemiJoin)]
                 .into_iter()
                 .enumerate()
         {
+            // Time every query execution individually: batch medians
+            // hide tail latency, and the tail is where governance
+            // (deadlines, budgets) bites. Per-pass totals still give
+            // the median; the pooled samples give p95/p99.
             let mut hits = 0usize;
-            let secs = median_secs(scale.pick(3, 5), || {
+            let mut pass_secs = Vec::new();
+            let mut samples_us = Vec::new();
+            for _ in 0..scale.pick(3, 5) {
                 hits = 0;
+                let pass0 = std::time::Instant::now();
                 for q in &queries {
+                    let t0 = std::time::Instant::now();
                     hits += cat.query_styled(q, MatchStrategy::Exact, style).expect("query").len();
+                    samples_us.push(t0.elapsed().as_secs_f64() * 1e6);
                 }
-            }) / queries.len() as f64;
+                pass_secs.push(pass0.elapsed().as_secs_f64());
+            }
+            pass_secs.sort_by(|a, b| a.total_cmp(b));
+            let secs = pass_secs[pass_secs.len() / 2] / queries.len() as f64;
+            let (p95, p99) = (
+                crate::percentile(&mut samples_us, 0.95),
+                crate::percentile(&mut samples_us, 0.99),
+            );
             medians[si] = secs;
+            tails[si] = (p95, p99);
             style_hits[si] = hits;
             entries.push(PerfEntry {
                 workload: label.to_string(),
                 style: sname.to_string(),
                 median_us: secs * 1e6,
+                p95_us: p95,
+                p99_us: p99,
                 hits,
             });
         }
@@ -502,6 +528,7 @@ pub fn perf(scale: Scale) -> Result<(Table, Vec<PerfEntry>)> {
             label.to_string(),
             fmt_secs(medians[0]),
             fmt_secs(medians[1]),
+            format!("{} / {}", fmt_secs(tails[1].0 / 1e6), fmt_secs(tails[1].1 / 1e6)),
             format!("{:.2}x", medians[0] / medians[1].max(1e-12)),
             style_hits[0].to_string(),
         ]);
@@ -604,8 +631,9 @@ pub fn render_perf_json(scale: Scale, entries: &[PerfEntry]) -> String {
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 == entries.len() { "" } else { "," };
         out.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"style\": \"{}\", \"median_us\": {:.3}, \"hits\": {}}}{comma}\n",
-            e.workload, e.style, e.median_us, e.hits
+            "    {{\"workload\": \"{}\", \"style\": \"{}\", \"median_us\": {:.3}, \
+             \"p95_us\": {:.3}, \"p99_us\": {:.3}, \"hits\": {}}}{comma}\n",
+            e.workload, e.style, e.median_us, e.p95_us, e.p99_us, e.hits
         ));
     }
     out.push_str("  ]\n}\n");

@@ -69,3 +69,32 @@ pub fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
     times.sort_by(|a, b| a.total_cmp(b));
     times[times.len() / 2]
 }
+
+/// The `q`-quantile (0 < q ≤ 1) of a sample set by the nearest-rank
+/// method: the smallest sample such that at least `q·n` samples are ≤
+/// it. Sorts in place; empty input yields 0.
+pub fn percentile(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let rank = (q * samples.len() as f64).ceil() as usize;
+    samples[rank.clamp(1, samples.len()) - 1]
+}
+
+#[cfg(test)]
+mod percentile_tests {
+    use super::percentile;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let mut s: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&mut s, 0.95), 95.0);
+        assert_eq!(percentile(&mut s, 0.99), 99.0);
+        assert_eq!(percentile(&mut s, 0.50), 50.0);
+        assert_eq!(percentile(&mut s, 1.0), 100.0);
+        let mut one = vec![7.0];
+        assert_eq!(percentile(&mut one, 0.99), 7.0);
+        assert_eq!(percentile(&mut [], 0.95), 0.0);
+    }
+}

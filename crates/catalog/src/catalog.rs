@@ -8,6 +8,7 @@ use crate::ordering::GlobalOrdering;
 use crate::partition::Partition;
 use crate::qparse::normalize_query;
 use crate::query::ObjectQuery;
+use crate::reqctx::RequestCtx;
 use crate::response;
 use crate::shred::{DynamicConvention, ShredOptions, ShreddedDoc, Shredder};
 use crate::store;
@@ -524,6 +525,17 @@ impl MetadataCatalog {
         execute_match_plan(&self.db, &plan)
     }
 
+    /// [`MetadataCatalog::query`] under a request context: the match
+    /// plan checks `ctx`'s deadline cooperatively and charges its
+    /// row/byte budget. On cancellation the
+    /// `catalog.cancelled.{deadline,budget}` counter is bumped and the
+    /// offending query recorded in the slow-query ring.
+    pub fn query_ctx(&self, q: &ObjectQuery, ctx: &RequestCtx) -> Result<Vec<i64>> {
+        let plan = self.cached_plan(q, self.config.strategy)?;
+        crate::engine::execute_match_plan_ctx(&self.db, &plan, ctx)
+            .map_err(|e| ctx.note_cancelled(e))
+    }
+
     /// Run a query with an explicit strategy (ablations).
     pub fn query_with(&self, q: &ObjectQuery, strategy: MatchStrategy) -> Result<Vec<i64>> {
         let plan = self.cached_plan(q, strategy)?;
@@ -573,6 +585,18 @@ impl MetadataCatalog {
         response::build_documents(&self.db, object_ids)
     }
 
+    /// [`MetadataCatalog::fetch_documents`] under a request context:
+    /// document reconstruction — including CLOB byte resolution —
+    /// respects `ctx`'s deadline and byte budget.
+    pub fn fetch_documents_ctx(
+        &self,
+        object_ids: &[i64],
+        ctx: &RequestCtx,
+    ) -> Result<Vec<(i64, String)>> {
+        let _span = obs::global().span("catalog.response_build");
+        response::build_documents_ctx(&self.db, object_ids, ctx).map_err(|e| ctx.note_cancelled(e))
+    }
+
     /// Query then reconstruct: the full Fig-1 pipeline.
     pub fn search(&self, q: &ObjectQuery) -> Result<Vec<(i64, String)>> {
         let ids = self.query(q)?;
@@ -584,6 +608,16 @@ impl MetadataCatalog {
         let ids = self.query(q)?;
         let _span = obs::global().span("catalog.response_build");
         response::build_response_envelope(&self.db, &ids)
+    }
+
+    /// [`MetadataCatalog::search_envelope`] under a request context:
+    /// one budget and one deadline govern match *and* response
+    /// assembly — the two halves cannot each spend the full allowance.
+    pub fn search_envelope_ctx(&self, q: &ObjectQuery, ctx: &RequestCtx) -> Result<String> {
+        let ids = self.query_ctx(q, ctx)?;
+        let _span = obs::global().span("catalog.response_build");
+        response::build_response_envelope_ctx(&self.db, &ids, ctx)
+            .map_err(|e| ctx.note_cancelled(e))
     }
 
     /// Remove an object and all its stored metadata.

@@ -368,6 +368,23 @@ pub fn execute_match_plan(db: &Database, plan: &Plan) -> Result<Vec<i64>> {
     Ok(ids_from_rows(rs))
 }
 
+/// [`execute_match_plan`] under a request context: the executor charges
+/// rows/bytes against the request's budget and checks its deadline
+/// cooperatively, including inside parallel subplan forks.
+pub fn execute_match_plan_ctx(
+    db: &Database,
+    plan: &Plan,
+    ctx: &crate::reqctx::RequestCtx,
+) -> Result<Vec<i64>> {
+    let reg = obs::global();
+    let rs = {
+        let _span = reg.span("catalog.query.match");
+        db.execute_parallel_with(plan, &ctx.budget)?
+    };
+    reg.counter("catalog.query.count").incr();
+    Ok(ids_from_rows(rs))
+}
+
 /// Execute an [`ObjectQuery`]; returns sorted matching object ids.
 pub fn run_query(
     db: &Database,

@@ -45,6 +45,7 @@ pub mod partition;
 pub mod persist;
 pub mod qparse;
 pub mod query;
+pub mod reqctx;
 pub mod response;
 pub mod sharded;
 pub mod shred;
@@ -63,6 +64,7 @@ pub mod prelude {
     pub use crate::partition::{NodeRole, Partition, PartitionSpec};
     pub use crate::qparse::parse_query;
     pub use crate::query::{AttrQuery, ElemCond, ObjectQuery, QOp, QValue};
+    pub use crate::reqctx::RequestCtx;
     pub use crate::sharded::ShardedCatalog;
     pub use crate::shred::{DynamicConvention, ShredOptions, Shredder};
 }

@@ -28,13 +28,25 @@
 use crate::error::{CatalogError, Result};
 use crate::query::{AttrQuery, ElemCond, ObjectQuery, QOp, QValue};
 
+/// Maximum `{...}` sub-attribute nesting depth the parser accepts.
+/// `attr()` recurses once per level, so without a cap an adversarial
+/// `a{a{a{...` input drives unbounded stack growth; the schema
+/// hierarchies the paper describes are a handful of levels deep.
+pub const MAX_QUERY_DEPTH: usize = 16;
+
+/// Maximum total criteria (attributes + element predicates) per query.
+/// Each criterion becomes a subtree of the match plan, so an oversized
+/// predicate list is a resource-exhaustion vector rather than a
+/// plausible query.
+pub const MAX_QUERY_CRITERIA: usize = 256;
+
 /// Parse the query language into an [`ObjectQuery`].
 pub fn parse_query(src: &str) -> Result<ObjectQuery> {
-    let mut p = Parser { src, pos: 0 };
+    let mut p = Parser { src, pos: 0, criteria: 0 };
     let mut q = ObjectQuery::new();
     loop {
         p.skip_ws();
-        q = q.attr(p.attr()?);
+        q = q.attr(p.attr(0)?);
         p.skip_ws();
         if !p.eat(';') {
             break;
@@ -94,6 +106,9 @@ fn normalize_attr(a: &AttrQuery) -> String {
 struct Parser<'a> {
     src: &'a str,
     pos: usize,
+    /// Criteria parsed so far (attributes + predicates), capped at
+    /// [`MAX_QUERY_CRITERIA`].
+    criteria: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -136,7 +151,24 @@ impl<'a> Parser<'a> {
         Ok(self.src[start..self.pos].to_string())
     }
 
-    fn attr(&mut self) -> Result<AttrQuery> {
+    /// Count one parsed criterion against [`MAX_QUERY_CRITERIA`].
+    fn bump_criteria(&mut self) -> Result<()> {
+        self.criteria += 1;
+        if self.criteria > MAX_QUERY_CRITERIA {
+            return Err(CatalogError::BadQuery(format!(
+                "query has more than {MAX_QUERY_CRITERIA} criteria"
+            )));
+        }
+        Ok(())
+    }
+
+    fn attr(&mut self, depth: usize) -> Result<AttrQuery> {
+        if depth >= MAX_QUERY_DEPTH {
+            return Err(CatalogError::BadQuery(format!(
+                "query nesting deeper than {MAX_QUERY_DEPTH} levels"
+            )));
+        }
+        self.bump_criteria()?;
         let name = self.name()?;
         let mut aq = AttrQuery::new(name);
         if self.eat('@') {
@@ -145,6 +177,7 @@ impl<'a> Parser<'a> {
         loop {
             self.skip_ws();
             if self.eat('[') {
+                self.bump_criteria()?;
                 aq = aq.elem(self.pred()?);
             } else {
                 break;
@@ -154,7 +187,7 @@ impl<'a> Parser<'a> {
         if self.eat('{') {
             loop {
                 self.skip_ws();
-                aq = aq.sub(self.attr()?);
+                aq = aq.sub(self.attr(depth + 1)?);
                 self.skip_ws();
                 if !self.eat(',') {
                     break;
@@ -325,6 +358,38 @@ mod tests {
         assert!(parse_query("a junk").is_err());
         assert!(parse_query("a[x='unterminated]").is_err());
         assert!(parse_query("a[x=1..'s']").is_err());
+    }
+
+    #[test]
+    fn adversarial_nesting_is_depth_limited() {
+        // At the limit: MAX_QUERY_DEPTH levels parse fine.
+        let ok =
+            format!("{}x{}", "a{".repeat(MAX_QUERY_DEPTH - 1), "}".repeat(MAX_QUERY_DEPTH - 1));
+        parse_query(&ok).unwrap();
+        // One past the limit: typed parse error, no unbounded recursion.
+        let deep = format!("{}x{}", "a{".repeat(MAX_QUERY_DEPTH), "}".repeat(MAX_QUERY_DEPTH));
+        let err = parse_query(&deep).unwrap_err();
+        assert!(matches!(err, CatalogError::BadQuery(_)), "{err}");
+        // A pathological unclosed tower (the stack-growth attack shape)
+        // fails fast too instead of recursing to the end of the input.
+        let tower = "a{".repeat(100_000);
+        let err = parse_query(&tower).unwrap_err();
+        assert!(matches!(err, CatalogError::BadQuery(_)), "{err}");
+    }
+
+    #[test]
+    fn adversarial_predicate_lists_are_size_limited() {
+        // A plausible many-predicate query still parses.
+        let ok = format!("a{}", "[p=1]".repeat(100));
+        parse_query(&ok).unwrap();
+        // An oversized predicate list is rejected with a parse error.
+        let big = format!("a{}", "[p=1]".repeat(MAX_QUERY_CRITERIA + 1));
+        let err = parse_query(&big).unwrap_err();
+        assert!(matches!(err, CatalogError::BadQuery(_)), "{err}");
+        // Same cap applies across conjunctions of attributes.
+        let wide = vec!["a"; MAX_QUERY_CRITERIA + 1].join(";");
+        let err = parse_query(&wide).unwrap_err();
+        assert!(matches!(err, CatalogError::BadQuery(_)), "{err}");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //!    bytes only in this final pass.
 
 use crate::error::Result;
+use crate::reqctx::RequestCtx;
 use minidb::{Database, Expr, Plan, Value};
 
 /// Sort-merge fragment kinds; the numeric values define the ordering at
@@ -30,6 +31,19 @@ const K_CLOSE: i64 = 2;
 /// Returns `(object_id, xml)` pairs in ascending id order; ids with no
 /// stored metadata yield an empty string.
 pub fn build_documents(db: &Database, object_ids: &[i64]) -> Result<Vec<(i64, String)>> {
+    build_documents_ctx(db, object_ids, &RequestCtx::unbounded())
+}
+
+/// [`build_documents`] under a request context: every plan charges the
+/// request's budget, and the per-object lookup loop, fragment sort-merge
+/// input, and final CLOB byte resolution all check the deadline — so
+/// reconstruction of a huge response stops cooperatively instead of
+/// holding its worker past the deadline.
+pub fn build_documents_ctx(
+    db: &Database,
+    object_ids: &[i64],
+    ctx: &RequestCtx,
+) -> Result<Vec<(i64, String)>> {
     if object_ids.is_empty() {
         return Ok(Vec::new());
     }
@@ -43,12 +57,16 @@ pub fn build_documents(db: &Database, object_ids: &[i64]) -> Result<Vec<(i64, St
     // clobs: object_id=0 attr_id=1 schema_order=2 clob_seq=3 clob=4
     let mut clob_index_rows: Vec<Vec<Value>> = Vec::new();
     for &id in object_ids {
-        let rs = rt.execute(&Plan::IndexLookup {
-            table: "clobs".into(),
-            index: "clobs_by_obj".into(),
-            key: vec![Value::Int(id)],
-            filter: None,
-        })?;
+        ctx.check()?;
+        let rs = rt.execute_with(
+            &Plan::IndexLookup {
+                table: "clobs".into(),
+                index: "clobs_by_obj".into(),
+                key: vec![Value::Int(id)],
+                filter: None,
+            },
+            &ctx.budget,
+        )?;
         for mut row in rs.rows {
             // Prepend the id column the downstream joins expect in
             // position 0 (mirrors the former ids ⋈ clobs output shape).
@@ -127,11 +145,12 @@ pub fn build_documents(db: &Database, object_ids: &[i64]) -> Result<Vec<(i64, St
 
     // Union the three fragment relations and sort: the database returns
     // the response already tagged and ordered.
-    let mut all = rt.execute(&opens)?;
-    let more = rt.execute(&closes)?;
+    let mut all = rt.execute_with(&opens, &ctx.budget)?;
+    let more = rt.execute_with(&closes, &ctx.budget)?;
     all.rows.extend(more.rows);
-    let clobs_rs = rt.execute(&clob_frags)?;
+    let clobs_rs = rt.execute_with(&clob_frags, &ctx.budget)?;
     all.rows.extend(clobs_rs.rows);
+    ctx.check()?;
     all.rows.sort_by(|a, b| {
         // (object_id, major, kind, minor)
         for i in 0..4 {
@@ -146,7 +165,12 @@ pub fn build_documents(db: &Database, object_ids: &[i64]) -> Result<Vec<(i64, St
     // Concatenate per object, resolving CLOB locators only now.
     let mut out: Vec<(i64, String)> = Vec::with_capacity(object_ids.len());
     let mut seen: std::collections::HashSet<i64> = std::collections::HashSet::new();
-    for row in &all.rows {
+    for (i, row) in all.rows.iter().enumerate() {
+        // CLOB byte resolution is the expensive tail of response
+        // assembly; keep it cancellable too.
+        if i % 256 == 0 {
+            ctx.check()?;
+        }
         let Some(obj) = row[0].as_i64() else { continue };
         if out.last().map(|(o, _)| *o != obj).unwrap_or(true) {
             out.push((obj, String::new()));
@@ -167,6 +191,7 @@ pub fn build_documents(db: &Database, object_ids: &[i64]) -> Result<Vec<(i64, St
             Some(K_CLOB) => {
                 if let Some(loc) = row[5].as_i64() {
                     if let Ok(text) = db.clobs.get_str(loc as u64) {
+                        ctx.charge_bytes(text.len() as u64)?;
                         buf.push_str(&text);
                     }
                 }
@@ -187,7 +212,17 @@ pub fn build_documents(db: &Database, object_ids: &[i64]) -> Result<Vec<(i64, St
 /// Convenience: wrap several reconstructed documents in a `<results>`
 /// envelope (what a catalog service would return to a client).
 pub fn build_response_envelope(db: &Database, object_ids: &[i64]) -> Result<String> {
-    let docs = build_documents(db, object_ids)?;
+    build_response_envelope_ctx(db, object_ids, &RequestCtx::unbounded())
+}
+
+/// [`build_response_envelope`] under a request context (see
+/// [`build_documents_ctx`]).
+pub fn build_response_envelope_ctx(
+    db: &Database,
+    object_ids: &[i64],
+    ctx: &RequestCtx,
+) -> Result<String> {
+    let docs = build_documents_ctx(db, object_ids, ctx)?;
     let mut out = String::with_capacity(docs.iter().map(|(_, d)| d.len() + 32).sum());
     out.push_str("<results>");
     for (id, doc) in &docs {

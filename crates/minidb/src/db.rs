@@ -25,6 +25,7 @@ use crate::error::{DbError, Result};
 use crate::exec::{run_aggregate, run_hash_join, run_semi_join, JoinKind, Plan, ResultSet};
 use crate::expr::Expr;
 use crate::keyset::{Key, KeySet, KeyedRows};
+use crate::limits::{approx_row_bytes, Budget, CHECK_INTERVAL};
 use crate::profile::PlanProfile;
 use crate::table::{Index, Row, RowId, Table, TableSchema};
 use crate::value::{DataType, Value};
@@ -46,32 +47,85 @@ use std::time::Instant;
 const PAR_BUDGET: u8 = 2;
 
 /// Per-execution settings threaded through the operator tree.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct ExecCtx {
     /// Fork independent join/semi-join sides onto scoped threads.
     parallel: bool,
     /// Remaining fork depth (each fork decrements).
     par_budget: u8,
+    /// Shared deadline / row / byte budget for this request, if any.
+    /// Forked subplans clone the `Arc`, so parallel sides draw down
+    /// one budget and observe one deadline.
+    budget: Option<Arc<Budget>>,
 }
 
 impl ExecCtx {
     fn serial() -> ExecCtx {
-        ExecCtx { parallel: false, par_budget: 0 }
+        ExecCtx { parallel: false, par_budget: 0, budget: None }
     }
 
     fn parallel() -> ExecCtx {
-        ExecCtx { parallel: true, par_budget: PAR_BUDGET }
+        ExecCtx { parallel: true, par_budget: PAR_BUDGET, budget: None }
     }
 
-    fn fork(self) -> ExecCtx {
-        ExecCtx { par_budget: self.par_budget.saturating_sub(1), ..self }
+    fn with_budget(mut self, budget: &Arc<Budget>) -> ExecCtx {
+        if !budget.is_unlimited() {
+            self.budget = Some(Arc::clone(budget));
+        }
+        self
+    }
+
+    fn fork(&self) -> ExecCtx {
+        ExecCtx { par_budget: self.par_budget.saturating_sub(1), ..self.clone() }
     }
 
     /// Forking is allowed only on unprofiled runs: per-operator stats
     /// collection threads one mutable profile through the tree, which
     /// is inherently sequential.
-    fn can_fork(self, prof: &Option<PlanProfile>) -> bool {
+    fn can_fork(&self, prof: &Option<PlanProfile>) -> bool {
         self.parallel && self.par_budget > 0 && prof.is_none()
+    }
+
+    fn budget_ref(&self) -> Option<&Budget> {
+        self.budget.as_deref()
+    }
+
+    /// Cooperative cancellation point for hot loops: every
+    /// [`CHECK_INTERVAL`] iterations, check the deadline plus whether
+    /// the loop's locally accumulated rows would blow the row cap.
+    #[inline]
+    fn tick(&self, iter: &mut u32, pending_rows: usize) -> Result<()> {
+        *iter = iter.wrapping_add(1);
+        if (*iter).is_multiple_of(CHECK_INTERVAL) {
+            if let Some(b) = &self.budget {
+                b.check(pending_rows as u64)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Operator-boundary accounting: charge the materialized result's
+    /// rows and approximate bytes, and re-check the deadline. Called
+    /// once per operator, so `max_rows`/`max_bytes` cap the *total*
+    /// materialization a request performs.
+    fn charge(&self, rs: &ResultSet) -> Result<()> {
+        let Some(b) = &self.budget else {
+            return Ok(());
+        };
+        b.check_deadline()?;
+        b.charge_rows(rs.rows.len() as u64)?;
+        let bytes: u64 = rs.rows.iter().map(|r| approx_row_bytes(r)).sum();
+        b.charge_bytes(bytes)
+    }
+
+    /// Boundary accounting for keyed (integer-pair) results.
+    fn charge_keys(&self, n: usize) -> Result<()> {
+        let Some(b) = &self.budget else {
+            return Ok(());
+        };
+        b.check_deadline()?;
+        b.charge_rows(n as u64)?;
+        b.charge_bytes((n * std::mem::size_of::<Key>()) as u64)
     }
 }
 
@@ -621,7 +675,17 @@ impl Database {
     /// one committed state even when it reads several tables.
     pub fn execute(&self, plan: &Plan) -> Result<ResultSet> {
         let _gate = self.vis.read();
-        self.exec_node(plan, &mut None, &mut Vec::new(), ExecCtx::serial())
+        self.exec_node(plan, &mut None, &mut Vec::new(), &ExecCtx::serial())
+    }
+
+    /// [`Database::execute`] under a request [`Budget`]: the execution
+    /// checks the budget's deadline cooperatively at scan/join loop
+    /// boundaries and charges materialized rows/bytes against its caps,
+    /// returning [`DbError::DeadlineExceeded`] /
+    /// [`DbError::BudgetExceeded`] instead of a partial result.
+    pub fn execute_with(&self, plan: &Plan, budget: &Arc<Budget>) -> Result<ResultSet> {
+        let _gate = self.vis.read();
+        self.exec_node(plan, &mut None, &mut Vec::new(), &ExecCtx::serial().with_budget(budget))
     }
 
     /// Execute a plan, evaluating independent hash-join / semi-join
@@ -631,7 +695,15 @@ impl Database {
     /// the catalog's per-criterion match branches.
     pub fn execute_parallel(&self, plan: &Plan) -> Result<ResultSet> {
         let _gate = self.vis.read();
-        self.exec_node(plan, &mut None, &mut Vec::new(), ExecCtx::parallel())
+        self.exec_node(plan, &mut None, &mut Vec::new(), &ExecCtx::parallel())
+    }
+
+    /// [`Database::execute_parallel`] under a request [`Budget`]. The
+    /// budget is shared by every forked subplan (one deadline, one row
+    /// and byte pool), so parallelism cannot be used to dodge limits.
+    pub fn execute_parallel_with(&self, plan: &Plan, budget: &Arc<Budget>) -> Result<ResultSet> {
+        let _gate = self.vis.read();
+        self.exec_node(plan, &mut None, &mut Vec::new(), &ExecCtx::parallel().with_budget(budget))
     }
 
     /// Execute a plan while collecting per-operator row counts and
@@ -642,7 +714,7 @@ impl Database {
     pub fn execute_profiled(&self, plan: &Plan) -> Result<(ResultSet, PlanProfile)> {
         let _gate = self.vis.read();
         let mut prof = Some(PlanProfile::default());
-        let rs = self.exec_node(plan, &mut prof, &mut Vec::new(), ExecCtx::serial())?;
+        let rs = self.exec_node(plan, &mut prof, &mut Vec::new(), &ExecCtx::serial())?;
         Ok((rs, prof.expect("profiler installed above")))
     }
 
@@ -652,7 +724,7 @@ impl Database {
         prof: &mut Option<PlanProfile>,
         path: &mut Vec<u16>,
         input_no: u16,
-        ctx: ExecCtx,
+        ctx: &ExecCtx,
     ) -> Result<ResultSet> {
         path.push(input_no);
         let result = self.exec_node(plan, prof, path, ctx);
@@ -665,7 +737,7 @@ impl Database {
         plan: &Plan,
         prof: &mut Option<PlanProfile>,
         path: &mut Vec<u16>,
-        ctx: ExecCtx,
+        ctx: &ExecCtx,
     ) -> Result<ResultSet> {
         // Set-oriented fast path: `Distinct` / semi-join subtrees whose
         // leaves project `INT NOT NULL` columns execute over compact
@@ -693,7 +765,9 @@ impl Database {
                 // conjuncts; the full predicate is re-applied to the
                 // narrowed row set, so partial coverage (and residual
                 // range/LIKE terms) stay correct.
+                let mut it = 0u32;
                 for_each_matching(&guard, filter.as_ref(), |r| {
+                    ctx.tick(&mut it, rows.len())?;
                     rows.push(r.clone());
                     Ok(())
                 })?;
@@ -706,7 +780,9 @@ impl Database {
                     guard.schema.columns.iter().map(|c| c.name.clone()).collect();
                 let idx = guard.index(index)?;
                 let mut rows = Vec::new();
+                let mut it = 0u32;
                 let mut visit = |rid: usize| -> Result<()> {
+                    ctx.tick(&mut it, rows.len())?;
                     if let Some(r) = guard.get(rid) {
                         if match filter {
                             Some(p) => p.matches(r)?,
@@ -735,7 +811,9 @@ impl Database {
                     guard.schema.columns.iter().map(|c| c.name.clone()).collect();
                 let idx = guard.index(index)?;
                 let mut rows = Vec::new();
+                let mut it = 0u32;
                 for rid in idx.range_ids(lo.as_deref(), hi.as_deref()) {
+                    ctx.tick(&mut it, rows.len())?;
                     if let Some(r) = guard.get(rid) {
                         if match filter {
                             Some(p) => p.matches(r)?,
@@ -777,25 +855,27 @@ impl Database {
             Plan::HashJoin { left, right, left_keys, right_keys, kind } => {
                 let (l, r) = if ctx.can_fork(prof) {
                     let fc = ctx.fork();
+                    let fc2 = fc.clone();
                     par2(
-                        || self.exec_node(left, &mut None, &mut Vec::new(), fc),
-                        || self.exec_node(right, &mut None, &mut Vec::new(), fc),
+                        || self.exec_node(left, &mut None, &mut Vec::new(), &fc),
+                        || self.exec_node(right, &mut None, &mut Vec::new(), &fc2),
                     )?
                 } else {
                     let l = self.exec_child(left, prof, path, 0, ctx)?;
                     let r = self.exec_child(right, prof, path, 1, ctx)?;
                     (l, r)
                 };
-                run_hash_join(l, r, left_keys, right_keys, *kind)
+                run_hash_join(l, r, left_keys, right_keys, *kind, ctx.budget_ref())
             }
             Plan::HashSemiJoin { probe, build, probe_keys, build_keys, anti } => {
                 // Generic (materializing) semi-join; keyable shapes were
                 // already diverted to the fast path above.
                 let (p, b) = if ctx.can_fork(prof) {
                     let fc = ctx.fork();
+                    let fc2 = fc.clone();
                     par2(
-                        || self.exec_node(probe, &mut None, &mut Vec::new(), fc),
-                        || self.exec_node(build, &mut None, &mut Vec::new(), fc),
+                        || self.exec_node(probe, &mut None, &mut Vec::new(), &fc),
+                        || self.exec_node(build, &mut None, &mut Vec::new(), &fc2),
                     )?
                 } else {
                     let p = self.exec_child(probe, prof, path, 0, ctx)?;
@@ -812,9 +892,15 @@ impl Database {
                 columns.extend(r.columns.iter().cloned());
                 let right_arity = r.columns.len();
                 let mut rows = Vec::new();
+                let mut it = 0u32;
                 for lrow in &l.rows {
                     let mut matched = false;
                     for rrow in &r.rows {
+                        // The one potentially quadratic operator: check
+                        // per candidate pair so a runaway cross product
+                        // hits the deadline / row cap while looping,
+                        // not after materializing.
+                        ctx.tick(&mut it, rows.len())?;
                         let mut cand = lrow.clone();
                         cand.extend(rrow.iter().cloned());
                         let ok = match pred {
@@ -864,6 +950,14 @@ impl Database {
                 Ok(rs)
             }
         };
+        // Operator-boundary budget accounting: every materialized
+        // result (regardless of operator kind) is charged against the
+        // request's row/byte caps, and the deadline is re-checked, so
+        // even operators without inner-loop ticks are cancellation
+        // points.
+        if let Ok(rs) = &result {
+            ctx.charge(rs)?;
+        }
         if let (Some(profile), Some(started), Ok(rs)) = (prof.as_mut(), start, &result) {
             let nanos = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
             profile.record(path.clone(), rs.rows.len() as u64, nanos);
@@ -954,7 +1048,7 @@ impl Database {
         plan: &Plan,
         prof: &mut Option<PlanProfile>,
         path: &mut Vec<u16>,
-        ctx: ExecCtx,
+        ctx: &ExecCtx,
     ) -> Result<KeyedRows> {
         let start = prof.as_ref().map(|_| Instant::now());
         match plan {
@@ -963,15 +1057,17 @@ impl Database {
                 let k = self.eval_keys(input, prof, path, ctx)?;
                 path.pop();
                 let k = k.dedup_first_occurrence();
+                ctx.charge_keys(k.keys.len())?;
                 record_keyed(prof, start, path, k.keys.len());
                 Ok(k)
             }
             Plan::HashSemiJoin { probe, build, probe_keys, build_keys, anti } => {
                 let (mut pk, bk) = if ctx.can_fork(prof) {
                     let fc = ctx.fork();
+                    let fc2 = fc.clone();
                     par2(
-                        || self.eval_keys(probe, &mut None, &mut Vec::new(), fc),
-                        || self.eval_keys(build, &mut None, &mut Vec::new(), fc),
+                        || self.eval_keys(probe, &mut None, &mut Vec::new(), &fc),
+                        || self.eval_keys(build, &mut None, &mut Vec::new(), &fc2),
                     )?
                 } else {
                     path.push(1);
@@ -984,6 +1080,7 @@ impl Database {
                 };
                 let set = KeySet::build(bk.keys.iter().map(|&k| key_proj(k, build_keys)).collect());
                 pk.keys.retain(|&k| set.contains(key_proj(k, probe_keys)) != *anti);
+                ctx.charge_keys(pk.keys.len())?;
                 let reg = obs::global();
                 reg.counter("minidb.semijoin.count").incr();
                 reg.counter("minidb.semijoin.keyed").incr();
@@ -1007,10 +1104,13 @@ impl Database {
                         let t = self.table(table)?;
                         let guard = t.read();
                         let mut keys = Vec::new();
+                        let mut it = 0u32;
                         for_each_matching(&guard, filter.as_ref(), |r| {
+                            ctx.tick(&mut it, keys.len())?;
                             keys.push(row_key(r, &cols)?);
                             Ok(())
                         })?;
+                        ctx.charge_keys(keys.len())?;
                         // One fused pass stands in for both operators.
                         path.push(0);
                         record_keyed(prof, start, path, keys.len());
@@ -1037,13 +1137,16 @@ impl Database {
                         let guard = t.read();
                         let mut scanned = 0usize;
                         let mut keys = Vec::new();
+                        let mut it = 0u32;
                         for_each_matching(&guard, filter.as_ref(), |r| {
+                            ctx.tick(&mut it, keys.len())?;
                             scanned += 1;
                             if set.contains(row_key(r, probe_keys)?) != *anti {
                                 keys.push(row_key(r, &cols)?);
                             }
                             Ok(())
                         })?;
+                        ctx.charge_keys(keys.len())?;
                         let reg = obs::global();
                         reg.counter("minidb.semijoin.count").incr();
                         reg.counter("minidb.semijoin.keyed").incr();
@@ -1158,7 +1261,7 @@ impl Txn<'_> {
     /// sequence numbers, then insert) stay atomic with respect to
     /// concurrent writers.
     pub fn execute(&self, plan: &Plan) -> Result<ResultSet> {
-        self.db.exec_node(plan, &mut None, &mut Vec::new(), ExecCtx::serial())
+        self.db.exec_node(plan, &mut None, &mut Vec::new(), &ExecCtx::serial())
     }
 
     /// Create a table (see [`Database::create_table`]).
@@ -1297,13 +1400,33 @@ pub struct ReadTxn<'a> {
 impl ReadTxn<'_> {
     /// Execute a plan against the batch's snapshot.
     pub fn execute(&self, plan: &Plan) -> Result<ResultSet> {
-        self.db.exec_node(plan, &mut None, &mut Vec::new(), ExecCtx::serial())
+        self.db.exec_node(plan, &mut None, &mut Vec::new(), &ExecCtx::serial())
     }
 
     /// [`ReadTxn::execute`] with parallel evaluation of independent
     /// join sides (see [`Database::execute_parallel`]).
     pub fn execute_parallel(&self, plan: &Plan) -> Result<ResultSet> {
-        self.db.exec_node(plan, &mut None, &mut Vec::new(), ExecCtx::parallel())
+        self.db.exec_node(plan, &mut None, &mut Vec::new(), &ExecCtx::parallel())
+    }
+
+    /// [`ReadTxn::execute`] charging work against `budget` (see
+    /// [`Database::execute_with`]): cooperative deadline checks and
+    /// row/byte accounting shared with the rest of the request.
+    pub fn execute_with(&self, plan: &Plan, budget: &Arc<Budget>) -> Result<ResultSet> {
+        self.db
+            .exec_node(plan, &mut None, &mut Vec::new(), &ExecCtx::serial().with_budget(budget))
+    }
+
+    /// [`ReadTxn::execute_parallel`] charging work against `budget`.
+    /// Forked subplans share the same tracker, so parallelism cannot
+    /// dodge the limits.
+    pub fn execute_parallel_with(&self, plan: &Plan, budget: &Arc<Budget>) -> Result<ResultSet> {
+        self.db.exec_node(
+            plan,
+            &mut None,
+            &mut Vec::new(),
+            &ExecCtx::parallel().with_budget(budget),
+        )
     }
 
     /// Number of live rows in a table, as of the batch's snapshot.

@@ -28,6 +28,12 @@ pub enum DbError {
     /// Durable storage corruption: a snapshot or WAL record whose
     /// checksum or framing is provably wrong (not merely truncated).
     Corrupt(String),
+    /// The execution ran past its deadline (see [`crate::limits`]);
+    /// checked cooperatively, so no partial result escapes.
+    DeadlineExceeded(String),
+    /// The execution exceeded its row or byte budget (see
+    /// [`crate::limits`]).
+    BudgetExceeded(String),
 }
 
 impl fmt::Display for DbError {
@@ -44,6 +50,8 @@ impl fmt::Display for DbError {
             DbError::NoSuchClob(id) => write!(f, "no such CLOB: {id}"),
             DbError::Io(m) => write!(f, "storage io error: {m}"),
             DbError::Corrupt(m) => write!(f, "storage corruption: {m}"),
+            DbError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
+            DbError::BudgetExceeded(m) => write!(f, "budget exceeded: {m}"),
         }
     }
 }

@@ -35,6 +35,7 @@ pub mod exec;
 pub mod explain;
 pub mod expr;
 pub mod keyset;
+pub mod limits;
 pub mod profile;
 pub mod snapshot;
 pub mod sql;
@@ -51,6 +52,7 @@ pub mod prelude {
     pub use crate::explain::{explain, explain_analyze};
     pub use crate::expr::{ArithOp, CmpOp, Expr};
     pub use crate::keyset::{Key, KeySet, KeyedRows};
+    pub use crate::limits::{Budget, ExecLimits};
     pub use crate::profile::{NodeStats, PlanProfile};
     pub use crate::table::{Column, Row, RowId, Table, TableSchema};
     pub use crate::value::{DataType, Value};

@@ -101,6 +101,15 @@ impl MetricsRegistry {
         ring.push_back(SlowEvent { seq, name, nanos, detail });
     }
 
+    /// Record a noteworthy event into the slow-query ring regardless of
+    /// the slow threshold. Used for events that are interesting per se —
+    /// a cancelled request, a shed connection — where `nanos` is how
+    /// long the work ran before the event and `detail` identifies the
+    /// offending request.
+    pub fn record_event(&self, name: &'static str, nanos: u64, detail: Option<String>) {
+        self.record_slow(name, nanos, detail);
+    }
+
     /// Slow events currently retained, oldest first.
     pub fn slow_events(&self) -> Vec<SlowEvent> {
         self.slow_ring.lock().iter().cloned().collect()
@@ -208,6 +217,17 @@ mod tests {
         assert_eq!(events.len(), SLOW_RING_CAPACITY);
         assert_eq!(events.first().unwrap().detail.as_deref(), Some("op 10"));
         assert_eq!(events.last().unwrap().seq, (SLOW_RING_CAPACITY + 10 - 1) as u64);
+    }
+
+    #[test]
+    fn record_event_lands_in_ring_without_threshold() {
+        let reg = MetricsRegistry::new();
+        // Threshold disabled: spans are skipped, explicit events are not.
+        reg.record_event("req.cancelled", 42, Some("q=7 deadline".into()));
+        let events = reg.slow_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "req.cancelled");
+        assert_eq!(events[0].detail.as_deref(), Some("q=7 deadline"));
     }
 
     #[test]

@@ -20,7 +20,16 @@
 //! CHECKPOINT                            → OK lsn=<n>
 //! PING                                  → OK pong
 //! QUIT                                  → OK bye (connection closes)
+//! DEADLINE <ms> <command ...>           → as the wrapped command
 //! ```
+//!
+//! `DEADLINE <ms>` prefixes any command with a per-request deadline
+//! overriding the server's configured default
+//! ([`ServerConfig::default_deadline_ms`]). A read request that runs
+//! past its deadline is cancelled cooperatively inside the catalog and
+//! answered `ERR deadline exceeded ...`; mutations run to completion
+//! (aborting a half-applied ingest would tear acknowledgement
+//! semantics).
 //!
 //! Serve a catalog opened with [`catalog::catalog::MetadataCatalog::open`]
 //! and every acked `INGEST`/`ADD` is crash-safe: it has committed
@@ -34,18 +43,29 @@
 //! [`catalog::qparse`]'s language, e.g.
 //! `grid@ARPS[dx=1000]{grid-stretching@ARPS[dzmin=100]}`.
 //!
-//! ## Service limits
+//! ## Service limits and load shedding
 //!
 //! Connections are served by a bounded worker pool ([`ServerConfig`]:
-//! 8 workers, 32-deep accept queue by default). When all workers are
-//! busy and the queue is full, new connections get `ERR busy` and are
-//! closed — clients should back off and retry. Request bodies are
-//! capped at 16 MiB.
+//! 8 workers, 32-deep accept queue by default). Overload sheds in
+//! layers rather than hanging: a full queue demotes connections to a
+//! control lane that still answers `PING`/`STATS`/`SLOWLOG`/
+//! `CHECKPOINT` (heavy commands there get `ERR busy control lane`),
+//! connections that waited too long are answered `ERR busy queue-wait
+//! exceeded`, and a draining server sheds with `ERR busy draining`.
+//! Every shed reply starts with `busy`, which the client surfaces as
+//! the typed, always-retryable [`ClientError::Busy`];
+//! [`client::RetryClient`] implements jittered exponential backoff
+//! over it. Request bodies are capped at 16 MiB.
+//!
+//! [`CatalogServer::stop`] is a graceful drain: stop accepting, finish
+//! in-flight work (bounded by [`ServerConfig::drain_timeout_ms`]),
+//! then checkpoint a durable catalog so no acked ingest is lost across
+//! restart.
 
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod server;
 
-pub use client::{CatalogClient, ClientError};
+pub use client::{CatalogClient, ClientError, RetryClient, RetryPolicy};
 pub use server::{CatalogServer, ServerConfig};

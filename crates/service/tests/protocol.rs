@@ -122,9 +122,16 @@ fn pipelined_requests_are_answered_in_order() {
 #[test]
 fn worker_pool_applies_backpressure() {
     let cat = Arc::new(lead_catalog(CatalogConfig::default()).unwrap());
-    let server =
-        CatalogServer::start_with(cat, "127.0.0.1:0", ServerConfig { workers: 1, queue_depth: 1 })
-            .unwrap();
+    // Control lane disabled so overflow rejects outright with the bare
+    // `ERR busy`; the layered-shedding path is covered by the
+    // governance tests.
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        control_queue_depth: 0,
+        ..ServerConfig::default()
+    };
+    let server = CatalogServer::start_with(cat, "127.0.0.1:0", config).unwrap();
 
     // Occupy the only worker (PING round trip proves it's being served).
     let mut busy = Raw::connect(&server);

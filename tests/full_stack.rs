@@ -138,11 +138,27 @@ fn service_restart_recovers_acked_ingests_from_wal() {
         ids.push(client.ingest(FIG3_DOCUMENT).unwrap());
     }
     client.quit().unwrap();
+    // Graceful stop drains and checkpoints: the WAL is compacted into
+    // the snapshot before the process goes away.
     server.stop();
     drop(server);
 
-    // Second generation on the same directory: everything acked before
-    // the kill must come back, replayed through the WAL.
+    // A crashed writer generation: ingest one more document straight
+    // into the store and vanish without a checkpoint, leaving the
+    // commit only in the WAL tail.
+    let cat = mylead::catalog::catalog::MetadataCatalog::open(
+        &dir,
+        lead_partition(),
+        CatalogConfig::default(),
+    )
+    .unwrap();
+    ids.push(cat.ingest(FIG3_DOCUMENT).unwrap());
+    drop(cat);
+
+    // Second server generation on the same directory: everything acked
+    // before the stop must come back — the gracefully stopped server's
+    // writes from its drain checkpoint, the crashed writer's from WAL
+    // replay.
     let cat = mylead::catalog::catalog::MetadataCatalog::open(
         &dir,
         lead_partition(),
